@@ -1,0 +1,218 @@
+// Benchmarks: one per paper table/figure (regenerating the artifact at
+// reduced scale; run the CLI with -scale 1 for full paper scale), plus
+// micro-benchmarks of the core engines. Custom metrics report the headline
+// quantity each artifact measures so `go test -bench=.` doubles as a
+// compact reproduction run.
+package spnet_test
+
+import (
+	"testing"
+	"time"
+
+	"spnet"
+)
+
+// benchParams shrink the networks so a full -bench=. sweep stays fast while
+// preserving every experiment's shape.
+func benchParams() spnet.ExperimentParams {
+	return spnet.ExperimentParams{Scale: 0.05, Trials: 1, Seed: 1}
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := spnet.RunExperiment(id, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B)  { benchmarkExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)  { benchmarkExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchmarkExperiment(b, "table3") }
+func BenchmarkFig4(b *testing.B)    { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)    { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)    { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)    { benchmarkExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)    { benchmarkExperiment(b, "fig9") }
+func BenchmarkFig11(b *testing.B)   { benchmarkExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)   { benchmarkExperiment(b, "fig12") }
+func BenchmarkRule4(b *testing.B)   { benchmarkExperiment(b, "rule4") }
+func BenchmarkFigA13(b *testing.B)  { benchmarkExperiment(b, "figA13") }
+func BenchmarkFigA14(b *testing.B)  { benchmarkExperiment(b, "figA14") }
+func BenchmarkFigA15(b *testing.B)  { benchmarkExperiment(b, "figA15") }
+func BenchmarkTableD2(b *testing.B) { benchmarkExperiment(b, "tableD2") }
+
+// BenchmarkKRedundancy runs the general-k redundancy extension (an ablation
+// of the paper's k=2 design choice).
+func BenchmarkKRedundancy(b *testing.B) { benchmarkExperiment(b, "kredundancy") }
+
+// BenchmarkReliability runs the failure-injection reliability extension.
+func BenchmarkReliability(b *testing.B) { benchmarkExperiment(b, "reliability") }
+
+// BenchmarkBreakdown runs the load-attribution ablation.
+func BenchmarkBreakdown(b *testing.B) { benchmarkExperiment(b, "breakdown") }
+
+func BenchmarkSimCheck(b *testing.B) {
+	// The simulator cross-validation is the heaviest artifact; run it at an
+	// extra-small scale for benchmarking.
+	for i := 0; i < b.N; i++ {
+		rep, err := spnet.RunExperiment("simcheck",
+			spnet.ExperimentParams{Scale: 0.03, Trials: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// Core-engine micro-benchmarks.
+
+// BenchmarkGenerate measures instance generation (Step 1): PLOD topology
+// plus peer sampling for a 2000-peer network.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := spnet.DefaultConfig()
+	cfg.GraphSize = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spnet.Generate(cfg, nil, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate measures the mean-value analysis (Steps 2-3) over a
+// 2000-peer power-law instance: one BFS per source cluster plus response
+// flow accumulation.
+func BenchmarkEvaluate(b *testing.B) {
+	cfg := spnet.DefaultConfig()
+	cfg.GraphSize = 2000
+	inst, err := spnet.Generate(cfg, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var results float64
+	for i := 0; i < b.N; i++ {
+		res := spnet.Evaluate(inst)
+		results = res.ResultsPerQuery
+	}
+	b.ReportMetric(results, "results/query")
+}
+
+// BenchmarkEvaluateClique measures the closed-form clique fast path at the
+// cluster-size-1 extreme (10000 super-peers) that would otherwise need a
+// 5×10⁷-edge graph.
+func BenchmarkEvaluateClique(b *testing.B) {
+	cfg := spnet.Config{GraphType: spnet.Strong, GraphSize: 10000, ClusterSize: 1, TTL: 1}
+	inst, err := spnet.Generate(cfg, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spnet.Evaluate(inst)
+	}
+}
+
+// BenchmarkSimulate measures the discrete-event simulator's event
+// throughput on a 500-peer network.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := spnet.DefaultConfig()
+	cfg.GraphSize = 500
+	inst, err := spnet.Generate(cfg, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		m, err := spnet.Simulate(inst, spnet.SimOptions{
+			Duration: 120, Seed: uint64(i), Churn: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = m.EventsExecuted
+	}
+	b.ReportMetric(float64(events)/120, "events/vsec")
+}
+
+// BenchmarkDesign measures the Figure 10 global design procedure.
+func BenchmarkDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := spnet.Design(
+			spnet.Goals{NetworkSize: 2000, DesiredReach: 400},
+			spnet.Constraints{MaxDownBps: 1e5, MaxUpBps: 1e5, MaxProcHz: 1e7, MaxConns: 100},
+			spnet.DesignOptions{Trials: 1, Seed: uint64(i)},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureEPL measures the Figure 9 EPL probe.
+func BenchmarkMeasureEPL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := spnet.MeasureEPL(1000, 10, 300, 1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveSearch measures end-to-end query latency over a real 3-node
+// TCP overlay: flood, index lookups, reverse-path responses.
+func BenchmarkLiveSearch(b *testing.B) {
+	nodes := make([]*spnet.Node, 3)
+	for i := range nodes {
+		nodes[i] = spnet.NewNode(spnet.NodeOptions{TTL: 4})
+		if err := nodes[i].Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer nodes[i].Close()
+	}
+	for i := 1; i < len(nodes); i++ {
+		if err := nodes[i].ConnectPeer(nodes[i-1].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cl, err := spnet.DialSuperPeer(nodes[2].Addr(), []spnet.SharedFile{
+		{Index: 1, Title: "benchmark target file"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	// Wait for the join to land.
+	for nodes[2].Stats().IndexedFiles == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	seeker, err := spnet.DialSuperPeer(nodes[0].Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer seeker.Close()
+
+	// The collection window bounds each search: the flood protocol cannot
+	// know when the last response has arrived, so per-op time ≈ the window.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := seeker.Search("benchmark", 50*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 1 {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command spnet-design runs the paper's global design procedure (Figure 10):
+// given a network size, a desired reach and per-super-peer limits, it
+// selects the cluster size, redundancy, outdegree and TTL, and prints the
+// predicted performance of the chosen configuration.
+//
+// Example — the Section 5.2 walk-through (20000 peers, reach 3000,
+// 100 Kbps each way, 10 MHz, 100 connections):
+//
+//	spnet-design -size 20000 -reach 3000 -down 100000 -up 100000 \
+//	             -proc 10000000 -conns 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spnet"
+)
+
+func main() {
+	var (
+		size       = flag.Int("size", 20000, "number of peers in the network")
+		reach      = flag.Int("reach", 3000, "desired reach in peers")
+		down       = flag.Float64("down", 100_000, "max super-peer incoming bandwidth (bps)")
+		up         = flag.Float64("up", 100_000, "max super-peer outgoing bandwidth (bps)")
+		proc       = flag.Float64("proc", 10_000_000, "max super-peer processing (Hz)")
+		conns      = flag.Int("conns", 100, "max super-peer open connections")
+		redundancy = flag.Bool("allow-redundancy", false, "allow 2-redundant super-peers")
+		trials     = flag.Int("trials", 2, "trials per candidate evaluation")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	plan, err := spnet.Design(
+		spnet.Goals{NetworkSize: *size, DesiredReach: *reach},
+		spnet.Constraints{
+			MaxDownBps:      *down,
+			MaxUpBps:        *up,
+			MaxProcHz:       *proc,
+			MaxConns:        *conns,
+			AllowRedundancy: *redundancy,
+		},
+		spnet.DesignOptions{Trials: *trials, Seed: *seed},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "design failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("procedure trace:")
+	for _, step := range plan.Steps {
+		fmt.Println("  ", step)
+	}
+	fmt.Println("\nselected configuration:")
+	fmt.Printf("  %v\n", plan.Config)
+	if plan.ReachShortfall > 0 {
+		fmt.Printf("  NOTE: desired reach reduced by %.0f%% to stay feasible\n",
+			100*plan.ReachShortfall)
+	}
+	p := plan.Predicted
+	fmt.Println("\npredicted performance:")
+	fmt.Printf("  super-peer load:  in %v, out %v, proc %v\n",
+		p.SuperPeer.InBps, p.SuperPeer.OutBps, p.SuperPeer.ProcHz)
+	fmt.Printf("  client load:      in %v, out %v\n", p.Client.InBps, p.Client.OutBps)
+	fmt.Printf("  aggregate load:   in %v, out %v, proc %v\n",
+		p.Aggregate.InBps, p.Aggregate.OutBps, p.Aggregate.ProcHz)
+	fmt.Printf("  results/query:    %v\n", p.ResultsPerQuery)
+	fmt.Printf("  reach:            %v peers\n", p.ReachPeers)
+	fmt.Printf("  EPL:              %v\n", p.EPL)
+}

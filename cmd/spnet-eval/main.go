@@ -1,0 +1,81 @@
+// Command spnet-eval evaluates one super-peer network configuration with
+// the paper's mean-value analysis and prints expected loads, result quality
+// and traversal metrics with 95% confidence intervals.
+//
+// Example — the Table 1 default configuration:
+//
+//	spnet-eval
+//
+// Example — a 2-redundant network with a denser overlay:
+//
+//	spnet-eval -size 20000 -cluster 20 -redundancy -outdeg 10 -ttl 4 -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spnet"
+)
+
+func main() {
+	def := spnet.DefaultConfig()
+	var (
+		graphType  = flag.String("graph", "power", `overlay type: "power" or "strong"`)
+		size       = flag.Int("size", def.GraphSize, "number of peers")
+		cluster    = flag.Int("cluster", def.ClusterSize, "cluster size (nodes incl. super-peer)")
+		redundancy = flag.Bool("redundancy", false, "use 2-redundant virtual super-peers")
+		outdeg     = flag.Float64("outdeg", def.AvgOutdegree, "average super-peer outdegree")
+		ttl        = flag.Int("ttl", def.TTL, "query TTL")
+		trials     = flag.Int("trials", 3, "independent instance trials")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		lowQuery   = flag.Bool("low-query-rate", false, "use the Appendix C tenfold-lower query rate")
+	)
+	flag.Parse()
+
+	cfg := spnet.Config{
+		GraphSize:    *size,
+		ClusterSize:  *cluster,
+		Redundancy:   *redundancy,
+		AvgOutdegree: *outdeg,
+		TTL:          *ttl,
+	}
+	switch *graphType {
+	case "power":
+		cfg.GraphType = spnet.PowerLaw
+	case "strong":
+		cfg.GraphType = spnet.Strong
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -graph %q (want power or strong)\n", *graphType)
+		os.Exit(2)
+	}
+	prof := spnet.DefaultProfile()
+	if *lowQuery {
+		prof.Rates.QueryRate /= 10
+	}
+
+	sum, err := spnet.RunTrials(cfg, prof, *trials, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration: %v\n", cfg)
+	fmt.Printf("trials: %d\n\n", sum.Trials)
+	fmt.Printf("%-26s %-22s %-22s %-22s\n", "", "incoming bw (bps)", "outgoing bw (bps)", "processing (Hz)")
+	row := func(name string, ls [3]string) {
+		fmt.Printf("%-26s %-22s %-22s %-22s\n", name, ls[0], ls[1], ls[2])
+	}
+	fmtS := func(s interface{ String() string }) string { return s.String() }
+	row("aggregate (eq. 4)", [3]string{
+		fmtS(sum.Aggregate.InBps), fmtS(sum.Aggregate.OutBps), fmtS(sum.Aggregate.ProcHz)})
+	row("per super-peer (eq. 3)", [3]string{
+		fmtS(sum.SuperPeer.InBps), fmtS(sum.SuperPeer.OutBps), fmtS(sum.SuperPeer.ProcHz)})
+	row("per client (eq. 3)", [3]string{
+		fmtS(sum.Client.InBps), fmtS(sum.Client.OutBps), fmtS(sum.Client.ProcHz)})
+	fmt.Printf("\nresults per query (eq. 2): %v\n", sum.ResultsPerQuery)
+	fmt.Printf("expected path length:      %v\n", sum.EPL)
+	fmt.Printf("reach:                     %v clusters, %v peers\n",
+		sum.ReachClusters, sum.ReachPeers)
+}

@@ -1,0 +1,73 @@
+// Command spnet-experiments regenerates the tables and figures of the
+// paper's evaluation (Section 5 and Appendices C–E).
+//
+// Usage:
+//
+//	spnet-experiments -list
+//	spnet-experiments -exp fig4 [-scale 1.0] [-trials 3] [-seed 1]
+//	spnet-experiments -exp all -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spnet"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id, or 'all' (see -list)")
+		scale  = flag.Float64("scale", 1.0, "network-size multiplier (1.0 = paper scale)")
+		trials = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list the available experiments")
+		csvDir = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		titles := spnet.ExperimentTitles()
+		fmt.Println("available experiments:")
+		for _, id := range spnet.ExperimentIDs() {
+			fmt.Printf("  %-10s %s\n", id, titles[id])
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nselect one with -exp <id> or run everything with -exp all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	params := spnet.ExperimentParams{Scale: *scale, Trials: *trials, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = spnet.ExperimentIDs()
+	}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := spnet.RunExperiment(id, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(spnet.FormatReport(rep))
+		if *csvDir != "" {
+			paths, err := spnet.WriteReportCSV(rep, *csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing CSV for %s: %v\n", id, err)
+				failed = true
+			} else {
+				fmt.Printf("(wrote %d CSV files to %s)\n", len(paths), *csvDir)
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

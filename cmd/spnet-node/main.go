@@ -1,0 +1,85 @@
+// Command spnet-node runs one live super-peer over TCP: it serves clients
+// (metadata joins, keyword queries, updates) and connects to other
+// super-peers as overlay neighbors, flooding queries with a TTL and
+// relaying responses along the reverse path.
+//
+// Start a small overlay:
+//
+//	spnet-node -listen 127.0.0.1:7001
+//	spnet-node -listen 127.0.0.1:7002 -peers 127.0.0.1:7001
+//	spnet-node -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002
+//
+// Ask a node to run one query itself and exit:
+//
+//	spnet-node -listen 127.0.0.1:7004 -peers 127.0.0.1:7001 \
+//	           -query "free jazz" -wait 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"spnet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "address to serve clients and peers on")
+		peers   = flag.String("peers", "", "comma-separated super-peer addresses to connect to")
+		ttl     = flag.Int("ttl", 7, "TTL stamped on queries")
+		maxCl   = flag.Int("max-clients", 100, "maximum clients (cluster size - 1)")
+		maxPeer = flag.Int("max-peers", 30, "maximum overlay neighbors (outdegree)")
+		query   = flag.String("query", "", "run this keyword query from the node itself, print results, and exit")
+		wait    = flag.Duration("wait", 2*time.Second, "how long to collect results for -query")
+		verbose = flag.Bool("v", false, "log protocol diagnostics")
+	)
+	flag.Parse()
+
+	opts := spnet.NodeOptions{TTL: *ttl, MaxClients: *maxCl, MaxPeers: *maxPeer}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	node := spnet.NewNode(opts)
+	if err := node.Listen(*listen); err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers)\n",
+		node.Addr(), *ttl, *maxCl, *maxPeer)
+
+	for _, addr := range strings.Split(*peers, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if err := node.ConnectPeer(addr); err != nil {
+			log.Fatalf("connecting to peer %s: %v", addr, err)
+		}
+		fmt.Printf("connected to peer %s\n", addr)
+	}
+
+	if *query != "" {
+		results, err := node.Search(*query, *wait)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d results for %q:\n", len(results), *query)
+		for _, r := range results {
+			fmt.Printf("  %-40s (file %d, owner %d.%d.%d.%d:%d, %d hops)\n",
+				r.Title, r.FileIndex,
+				r.OwnerIP[0], r.OwnerIP[1], r.OwnerIP[2], r.OwnerIP[3],
+				r.OwnerPort, r.Hops)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+}

@@ -1,0 +1,123 @@
+// Command spnet-sim runs the deterministic discrete-event, message-level
+// super-peer simulator over a generated network and prints the measured
+// loads, optionally with the Section 5.3 local decision rules adapting the
+// topology live.
+//
+// Example — validate the analysis on the default configuration:
+//
+//	spnet-sim -size 2000 -duration 2000
+//
+// Example — adaptive mode with client arrivals:
+//
+//	spnet-sim -size 2000 -duration 3600 -adaptive -limit-bps 50000 \
+//	          -limit-proc 1e6 -arrivals 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spnet"
+)
+
+func main() {
+	def := spnet.DefaultConfig()
+	var (
+		graphType  = flag.String("graph", "power", `overlay type: "power" or "strong"`)
+		size       = flag.Int("size", 2000, "number of peers")
+		cluster    = flag.Int("cluster", def.ClusterSize, "cluster size")
+		redundancy = flag.Bool("redundancy", false, "2-redundant virtual super-peers")
+		outdeg     = flag.Float64("outdeg", def.AvgOutdegree, "average super-peer outdegree")
+		ttl        = flag.Int("ttl", def.TTL, "query TTL")
+		duration   = flag.Float64("duration", 1800, "virtual seconds to simulate")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		noChurn    = flag.Bool("no-churn", false, "disable session churn (join traffic)")
+		contentOn  = flag.Bool("content", false, "answer queries from real inverted indexes over synthetic titles")
+		compare    = flag.Bool("compare", true, "also print the analysis engine's expectations")
+
+		mtbf     = flag.Float64("mtbf", 0, "inject super-peer failures with this mean time between failures (s); 0 = off")
+		recovery = flag.Float64("recovery", 120, "failure injection: replacement delay (s)")
+
+		adaptive  = flag.Bool("adaptive", false, "run the Section 5.3 local decision rules")
+		limitBps  = flag.Float64("limit-bps", 50_000, "adaptive: per-super-peer bandwidth limit each way (bps)")
+		limitProc = flag.Float64("limit-proc", 1e6, "adaptive: per-super-peer processing limit (Hz)")
+		interval  = flag.Float64("interval", 60, "adaptive: local evaluation period (s)")
+		arrivals  = flag.Float64("arrivals", 0, "adaptive: new-client arrival rate (clients/s)")
+	)
+	flag.Parse()
+
+	cfg := spnet.Config{
+		GraphSize:    *size,
+		ClusterSize:  *cluster,
+		Redundancy:   *redundancy,
+		AvgOutdegree: *outdeg,
+		TTL:          *ttl,
+	}
+	switch *graphType {
+	case "power":
+		cfg.GraphType = spnet.PowerLaw
+	case "strong":
+		cfg.GraphType = spnet.Strong
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -graph %q\n", *graphType)
+		os.Exit(2)
+	}
+
+	inst, err := spnet.Generate(cfg, nil, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	opts := spnet.SimOptions{
+		Duration: *duration,
+		Seed:     *seed + 1,
+		Churn:    !*noChurn,
+	}
+	if *mtbf > 0 {
+		opts.Failures = &spnet.FailureOptions{MTBF: *mtbf, RecoveryDelay: *recovery}
+	}
+	if *contentOn {
+		opts.Content = &spnet.ContentOptions{}
+	}
+	if *adaptive {
+		opts.Adaptive = &spnet.AdaptiveOptions{
+			Limit:       spnet.Load{InBps: *limitBps, OutBps: *limitBps, ProcHz: *limitProc},
+			Interval:    *interval,
+			ArrivalRate: *arrivals,
+		}
+	}
+
+	m, err := spnet.Simulate(inst, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration: %v\n", cfg)
+	fmt.Printf("simulated %.0f s of virtual time: %d queries, %d events\n\n",
+		m.Duration, m.QueriesIssued, m.EventsExecuted)
+	fmt.Printf("measured loads:\n")
+	fmt.Printf("  aggregate:       %v\n", m.Aggregate)
+	fmt.Printf("  mean super-peer: %v\n", m.MeanSuperPeer)
+	fmt.Printf("  mean client:     %v\n", m.MeanClient)
+	fmt.Printf("  results/query:   %.1f\n", m.ResultsPerQuery)
+	fmt.Printf("  EPL:             %.2f\n", m.EPL)
+	fmt.Printf("topology at end of run: %d clusters, %d peers, mean outdegree %.1f, mean TTL %.1f\n",
+		m.FinalClusters, m.FinalPeers, m.FinalMeanOutdegree, m.FinalMeanTTL)
+	if m.FailuresInjected > 0 {
+		fmt.Printf("failures: %d injected, %d client queries lost (%.2f%%)\n",
+			m.FailuresInjected, m.ClientQueriesLost,
+			100*float64(m.ClientQueriesLost)/float64(m.QueriesIssued+m.ClientQueriesLost))
+	}
+
+	if *compare && !*adaptive && !*contentOn {
+		res := spnet.Evaluate(inst)
+		fmt.Printf("\nanalysis expectations (same instance):\n")
+		fmt.Printf("  aggregate:       %v\n", res.AggregateLoad())
+		fmt.Printf("  mean super-peer: %v\n", res.MeanSuperPeerLoad())
+		fmt.Printf("  mean client:     %v\n", res.MeanClientLoad())
+		fmt.Printf("  results/query:   %.1f\n", res.ResultsPerQuery)
+		fmt.Printf("  EPL:             %.2f\n", res.EPL)
+	}
+}

@@ -1,0 +1,102 @@
+// Livenet: the super-peer network running for real. This example boots a
+// five-super-peer overlay over loopback TCP, attaches clients with file
+// collections, and performs keyword searches — joins ship metadata into
+// inverted indexes, queries flood with a TTL, and Response messages travel
+// the reverse path, exactly the protocol of the paper's Section 3, on the
+// wire format its cost model prices.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spnet"
+)
+
+func main() {
+	// Five super-peers in a ring with one chord — every node within TTL
+	// reach of every other.
+	const clusters = 5
+	nodes := make([]*spnet.Node, clusters)
+	for i := range nodes {
+		nodes[i] = spnet.NewNode(spnet.NodeOptions{TTL: 4})
+		if err := nodes[i].Listen("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		defer nodes[i].Close()
+	}
+	for i := range nodes {
+		if err := nodes[i].ConnectPeer(nodes[(i+1)%clusters].Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := nodes[0].ConnectPeer(nodes[2].Addr()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay up: %d super-peers in a ring with a chord\n\n", clusters)
+
+	// Clients join different clusters with themed collections.
+	collections := [][]spnet.SharedFile{
+		{{Index: 1, Title: "Miles Davis Kind of Blue"}, {Index: 2, Title: "Coltrane Blue Train"}},
+		{{Index: 1, Title: "Blue Note Sessions"}, {Index: 2, Title: "Bebop Anthology"}},
+		{{Index: 1, Title: "Deep Blue Delta"}},
+		{{Index: 1, Title: "Symphony No 9"}, {Index: 2, Title: "Piano Concertos"}},
+		{{Index: 1, Title: "Modal Jazz Explorations"}},
+	}
+	clients := make([]*spnet.NodeClient, clusters)
+	for i, files := range collections {
+		cl, err := spnet.DialSuperPeer(nodes[i].Addr(), files)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+	// Let the joins land.
+	waitIndexed(nodes, 8)
+	total := 0
+	for i, n := range nodes {
+		s := n.Stats()
+		total += s.IndexedFiles
+		fmt.Printf("  super-peer %d: %d clients, %d peers, %d files indexed\n",
+			i, s.Clients, s.Peers, s.IndexedFiles)
+	}
+	fmt.Printf("  %d files shared network-wide\n\n", total)
+
+	// A client in cluster 4 searches the whole network.
+	search := func(who int, q string) {
+		results, err := clients[who].Search(q, 600*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("client@%d searched %-10q -> %d results\n", who, q, len(results))
+		for _, r := range results {
+			fmt.Printf("    %-32s %d hops away\n", r.Title, r.Hops)
+		}
+	}
+	search(4, "blue")
+	fmt.Println()
+	search(3, "jazz")
+	fmt.Println()
+
+	// A client leaves; its files vanish from the network.
+	clients[2].Close()
+	time.Sleep(100 * time.Millisecond)
+	fmt.Println("client@2 left (its Deep Blue Delta collection is de-indexed)")
+	search(4, "blue")
+}
+
+func waitIndexed(nodes []*spnet.Node, want int) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, n := range nodes {
+			total += n.Stats().IndexedFiles
+		}
+		if total >= want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: generate the paper's default super-peer network (Table 1),
+// run the mean-value analysis, and print what a super-peer and a client are
+// expected to carry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spnet"
+)
+
+func main() {
+	// The Table 1 defaults: a power-law overlay of 10000 peers, cluster
+	// size 10, average super-peer outdegree 3.1, query TTL 7.
+	cfg := spnet.DefaultConfig()
+	cfg.GraphSize = 5000 // shrink a little so the example runs in a second
+
+	inst, err := spnet.Generate(cfg, nil, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated: %v\n", cfg)
+	fmt.Printf("  %d peers in %d clusters, %d shared files total\n\n",
+		inst.NumPeers, len(inst.Clusters), inst.TotalFiles())
+
+	// One call runs the paper's Steps 2-3: expected load for every node.
+	res := spnet.Evaluate(inst)
+
+	fmt.Println("expected load (per entity):")
+	fmt.Printf("  super-peer: %v\n", res.MeanSuperPeerLoad())
+	fmt.Printf("  client:     %v\n", res.MeanClientLoad())
+	fmt.Printf("  aggregate:  %v\n\n", res.AggregateLoad())
+
+	fmt.Println("quality of results:")
+	fmt.Printf("  results per query:    %.1f\n", res.ResultsPerQuery)
+	fmt.Printf("  reach:                %.0f clusters (%.0f peers)\n",
+		res.MeanReachClusters, res.MeanReachPeers)
+	fmt.Printf("  expected path length: %.2f hops\n\n", res.EPL)
+
+	// What if every super-peer raised its outdegree to 10 (rule #3)? The
+	// EPL drops — but note the caveat of Appendix E: when the reach is
+	// already full (as it is here), extra neighbors mostly add redundant
+	// query copies, so rule #4 says to lower the TTL along with it.
+	denser := cfg
+	denser.AvgOutdegree = 10
+	denser.TTL = spnet.PredictTTL(10, denser.NumClusters())
+	inst2, err := spnet.Generate(denser, nil, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := spnet.Evaluate(inst2)
+	fmt.Printf("rules #3 + #4 — outdegree 10 with the TTL lowered to %d:\n", denser.TTL)
+	fmt.Printf("  super-peer: %v\n", res2.MeanSuperPeerLoad())
+	fmt.Printf("  EPL %.2f -> %.2f, results %.1f -> %.1f\n",
+		res.EPL, res2.EPL, res.ResultsPerQuery, res2.ResultsPerQuery)
+}

@@ -1,0 +1,3 @@
+module spnet
+
+go 1.22

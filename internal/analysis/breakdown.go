@@ -1,0 +1,106 @@
+package analysis
+
+import "spnet/internal/cost"
+
+// Breakdown attributes the system's aggregate load to protocol components.
+// Bandwidth is counted as in+out (each transfer contributes its size twice,
+// once per endpoint), matching the "Bandwidth (In + Out)" axis of Figure 4.
+// The packet-multiplex component is the Appendix A per-connection overhead,
+// derived as the difference between total processing and the summed
+// component processing.
+//
+// The breakdown makes the paper's causal explanations quantitative: e.g.
+// rule #1's knee comes from the query-transfer component growing inversely
+// with cluster count, and Figure 5's incoming-bandwidth story is the
+// response-transfer component.
+type Breakdown struct {
+	// QueryTransfer is the cost of moving query messages: flooding between
+	// super-peers (including redundant copies) and the client-to-super-peer
+	// submission hop.
+	QueryTransfer Load
+	// QueryProcessing is the cost of evaluating queries over indexes.
+	QueryProcessing Load
+	// ResponseTransfer is the cost of moving Response messages: reverse-path
+	// relaying plus forwarding results to clients.
+	ResponseTransfer Load
+	// Joins covers client metadata shipping and index (re)building.
+	Joins Load
+	// Updates covers collection-change notifications and index maintenance.
+	Updates Load
+	// PacketMultiplex is the Appendix A per-message, per-connection OS
+	// overhead (processing only).
+	PacketMultiplex Load
+}
+
+// Total sums the components; it equals AggregateLoad() summed over in+out.
+func (b Breakdown) Total() Load {
+	t := b.QueryTransfer
+	for _, l := range []Load{b.QueryProcessing, b.ResponseTransfer, b.Joins, b.Updates, b.PacketMultiplex} {
+		t = t.Add(l)
+	}
+	return t
+}
+
+// bdAcc accumulates component costs during evaluation, in bytes/sec (each
+// transfer counted twice, once per endpoint) and processing units/sec.
+type bdAcc struct {
+	queryBytes, queryProcXferU float64
+	processU                   float64
+	respBytes, respProcU       float64
+	joinBytes, joinU           float64
+	updBytes, updU             float64
+}
+
+// queryTransfer charges one query-message transfer at rate w.
+func (b *bdAcc) queryTransfer(w, bytes, sendU, recvU float64) {
+	b.queryBytes += 2 * w * bytes
+	b.queryProcXferU += w * (sendU + recvU)
+}
+
+// process charges query evaluation at rate w.
+func (b *bdAcc) process(w, units float64) { b.processU += w * units }
+
+// respTransfer charges one response-flow transfer at rate w.
+func (b *bdAcc) respTransfer(w, bytes, sendU, recvU float64) {
+	b.respBytes += 2 * w * bytes
+	b.respProcU += w * (sendU + recvU)
+}
+
+// join charges join traffic: transferred bytes (counted per endpoint pair)
+// and processing units.
+func (b *bdAcc) join(bytes2x, units float64) {
+	b.joinBytes += bytes2x
+	b.joinU += units
+}
+
+// update charges update traffic.
+func (b *bdAcc) update(bytes2x, units float64) {
+	b.updBytes += bytes2x
+	b.updU += units
+}
+
+// LoadBreakdown computes the component attribution for the evaluated
+// instance. The packet-multiplex processing is the residual between the
+// aggregate and the explicit components; bandwidth residual is zero by
+// construction.
+func (r *Result) LoadBreakdown() Breakdown {
+	b := r.bd
+	mk := func(bytes, units float64) Load {
+		return Load{InBps: bytes * 8 / 2, OutBps: bytes * 8 / 2, ProcHz: cost.UnitsToHz(units)}
+	}
+	out := Breakdown{
+		QueryTransfer:    mk(b.queryBytes, b.queryProcXferU),
+		QueryProcessing:  mk(0, b.processU),
+		ResponseTransfer: mk(b.respBytes, b.respProcU),
+		Joins:            mk(b.joinBytes, b.joinU),
+		Updates:          mk(b.updBytes, b.updU),
+	}
+	agg := r.AggregateLoad()
+	explicit := out.Total()
+	pm := agg.ProcHz - explicit.ProcHz
+	if pm < 0 {
+		pm = 0 // guard against rounding
+	}
+	out.PacketMultiplex = Load{ProcHz: pm}
+	return out
+}

@@ -1,0 +1,504 @@
+package analysis
+
+import (
+	"spnet/internal/cost"
+	"spnet/internal/gnutella"
+	"spnet/internal/network"
+)
+
+// Result holds the evaluation of one network instance: per-node expected
+// loads (eq. 1), expected results per query (eq. 2) and the traversal
+// metrics the design rules depend on.
+type Result struct {
+	// Inst is the evaluated instance.
+	Inst *network.Instance
+
+	// ResultsPerQuery is E[R_S] (eq. 2) averaged over query sources,
+	// weighted by each cluster's query rate.
+	ResultsPerQuery float64
+	// EPL is the expected path length: the expected number of hops a query
+	// response message takes back to its source (Section 5.1, rule #3).
+	EPL float64
+	// MeanReachClusters is the average number of clusters a query reaches
+	// (including the source cluster).
+	MeanReachClusters float64
+	// MeanReachPeers is the average number of peers covered by a query's
+	// reach — the unit Section 5.2 specifies desired reach in.
+	MeanReachPeers float64
+
+	spShared     []rawLoad   // per cluster: query-path load of the virtual super-peer (split across partners)
+	spPerPartner []rawLoad   // per cluster: join/update load each partner bears in full
+	clientBase   []rawLoad   // per cluster: per-client load excluding the join component
+	clientJoin   [][]rawLoad // per cluster, per client: the join component
+	respToSource []flow      // per cluster: total response flow for a query sourced there
+	bd           bdAcc       // system-wide component attribution
+}
+
+// evaluator carries the working state of one evaluation.
+type evaluator struct {
+	inst *network.Instance
+	res  *Result
+
+	// Precomputed per-cluster quantities.
+	users      []float64 // query-submitting users per cluster
+	qWeight    []float64 // queries per second originated by the cluster
+	clientFrac []float64 // fraction of the cluster's queries coming from clients
+	own        []flow    // the cluster's own expected response (ProbResp, ExpAddrs, ExpResults)
+
+	// Cost-model constants for the profile's expected query length.
+	qBytes    float64
+	sendQProc float64
+	recvQProc float64
+
+	// Rate-weighted accumulators for the traversal metrics.
+	resultsNum, resultsDen float64
+	eplNum, eplDen         float64
+	reachClustersNum       float64
+	reachPeersNum          float64
+
+	// Reusable BFS buffers (generic-graph path).
+	depth   []int32
+	parent  []int32
+	order   []int32
+	flowBuf []flow
+}
+
+// Evaluate runs Steps 2–3 of the paper's evaluation model over one instance,
+// producing expected loads for every node and the expected quality of
+// results. The instance is treated as read-only.
+func Evaluate(inst *network.Instance) *Result {
+	n := len(inst.Clusters)
+	e := &evaluator{
+		inst: inst,
+		res: &Result{
+			Inst:         inst,
+			spShared:     make([]rawLoad, n),
+			spPerPartner: make([]rawLoad, n),
+			clientBase:   make([]rawLoad, n),
+			clientJoin:   make([][]rawLoad, n),
+			respToSource: make([]flow, n),
+		},
+		users:      make([]float64, n),
+		qWeight:    make([]float64, n),
+		clientFrac: make([]float64, n),
+		own:        make([]flow, n),
+	}
+	qRate := inst.Profile.Rates.QueryRate
+	for v := range inst.Clusters {
+		cl := &inst.Clusters[v]
+		e.users[v] = float64(cl.Users())
+		e.qWeight[v] = qRate * e.users[v]
+		if cl.Users() > 0 {
+			e.clientFrac[v] = float64(len(cl.Clients)) / e.users[v]
+		}
+		e.own[v] = flow{msgs: cl.ProbResp, addrs: cl.ExpAddrs, results: cl.ExpResults}
+	}
+	qb, sp := cost.SendQuery(inst.Profile.QueryLen)
+	_, rp := cost.RecvQuery(inst.Profile.QueryLen)
+	e.qBytes, e.sendQProc, e.recvQProc = float64(qb), float64(sp), float64(rp)
+
+	if inst.Graph.IsClique() {
+		e.evalCliqueQueries()
+	} else {
+		e.evalGraphQueries()
+	}
+	e.evalClientLegs()
+	e.evalJoins()
+	e.evalUpdates()
+	e.finalizeMetrics()
+	return e.res
+}
+
+// respBytes returns the total wire bytes of a response flow.
+func respBytes(f flow) float64 {
+	return float64(gnutella.ResponseFixedLen)*f.msgs +
+		float64(gnutella.ResponderRecordLen)*f.addrs +
+		float64(gnutella.ResultRecordLen)*f.results
+}
+
+func sendRespProc(f flow) float64 {
+	return cost.SendRespBase*f.msgs + cost.SendRespPerAddr*f.addrs + cost.SendRespPerResult*f.results
+}
+
+func recvRespProc(f flow) float64 {
+	return cost.RecvRespBase*f.msgs + cost.RecvRespPerAddr*f.addrs + cost.RecvRespPerResult*f.results
+}
+
+// evalGraphQueries runs one BFS per source cluster over an explicit overlay
+// and charges every query-path cost (Section 4.1, Step 2: the breadth-first
+// traversal models propagation; responses travel up the predecessor tree).
+func (e *evaluator) evalGraphQueries() {
+	g := e.inst.Graph
+	n := g.N()
+	ttl := e.inst.Config.TTL
+	e.depth = make([]int32, n)
+	e.parent = make([]int32, n)
+	e.order = make([]int32, 0, n)
+	e.flowBuf = make([]flow, n)
+	for i := range e.depth {
+		e.depth[i] = -1
+	}
+
+	sp := e.res.spShared
+	for s := 0; s < n; s++ {
+		w := e.qWeight[s]
+		if w == 0 {
+			// A cluster with no users sources no queries; its reach metrics
+			// would also be unweighted, so skip entirely.
+			continue
+		}
+		e.bfs(s, ttl)
+
+		// Query forwarding: every reached node u with depth < TTL forwards
+		// to all neighbors except the edge the query arrived on. Copies
+		// arriving at already-visited nodes are redundant: received, then
+		// dropped (Section 5.1, rule #4).
+		for _, u32 := range e.order {
+			u := int(u32)
+			if int(e.depth[u]) >= ttl {
+				continue // nodes at the TTL horizon do not forward
+			}
+			par := e.parent[u]
+			g.VisitNeighbors(u, func(nb int) bool {
+				if int32(nb) == par && u != s {
+					return true
+				}
+				sp[u].outBytes += w * e.qBytes
+				sp[u].procU += w * e.sendQProc
+				sp[u].msgs += w
+				sp[nb].inBytes += w * e.qBytes
+				sp[nb].procU += w * e.recvQProc
+				sp[nb].msgs += w
+				e.res.bd.queryTransfer(w, e.qBytes, e.sendQProc, e.recvQProc)
+				return true
+			})
+		}
+
+		// Every reached cluster processes the query over its index once.
+		for _, v32 := range e.order {
+			v := int(v32)
+			pu := float64(cost.ProcessQuery(e.own[v].results))
+			sp[v].procU += w * pu
+			e.res.bd.process(w, pu)
+			e.flowBuf[v] = e.own[v]
+		}
+
+		// Responses travel up the BFS predecessor tree; iterating the BFS
+		// order backwards visits children before parents, so each node's
+		// flow is complete when it is charged.
+		for i := len(e.order) - 1; i >= 1; i-- {
+			v := int(e.order[i])
+			f := e.flowBuf[v]
+			if f.isZero() {
+				continue
+			}
+			p := int(e.parent[v])
+			b := respBytes(f)
+			sp[v].outBytes += w * b
+			sp[v].procU += w * sendRespProc(f)
+			sp[v].msgs += w * f.msgs
+			sp[p].inBytes += w * b
+			sp[p].procU += w * recvRespProc(f)
+			sp[p].msgs += w * f.msgs
+			e.res.bd.respTransfer(w, b, sendRespProc(f), recvRespProc(f))
+			e.flowBuf[p].add(f)
+		}
+		total := e.flowBuf[int(e.order[0])] // source: own + all relayed flows
+		e.res.respToSource[s] = total
+
+		// Traversal metrics.
+		e.resultsNum += w * total.results
+		e.resultsDen += w
+		e.reachClustersNum += w * float64(len(e.order))
+		var peers float64
+		for _, v32 := range e.order {
+			peers += e.users[v32]
+		}
+		e.reachPeersNum += w * peers
+		for _, v32 := range e.order[1:] {
+			v := int(v32)
+			e.eplNum += w * float64(e.depth[v]) * e.own[v].msgs
+			e.eplDen += w * e.own[v].msgs
+		}
+
+		// Reset the touched buffers for the next source.
+		for _, v32 := range e.order {
+			e.depth[v32] = -1
+			e.parent[v32] = -1
+			e.flowBuf[v32] = flow{}
+		}
+	}
+}
+
+// bfs fills the evaluator's reusable depth/parent/order buffers.
+func (e *evaluator) bfs(source, ttl int) {
+	e.order = e.order[:0]
+	e.depth[source] = 0
+	e.parent[source] = -1
+	e.order = append(e.order, int32(source))
+	if ttl == 0 {
+		return
+	}
+	g := e.inst.Graph
+	head := 0
+	for head < len(e.order) {
+		u := int(e.order[head])
+		head++
+		d := e.depth[u]
+		if int(d) >= ttl {
+			break // BFS order is depth-monotone; nothing shallower remains
+		}
+		g.VisitNeighbors(u, func(nb int) bool {
+			if e.depth[nb] == -1 {
+				e.depth[nb] = d + 1
+				e.parent[nb] = int32(u)
+				e.order = append(e.order, int32(nb))
+			}
+			return true
+		})
+	}
+}
+
+// evalCliqueQueries is the closed-form fast path for strongly connected
+// overlays: every cluster is one hop from every other, responses travel
+// directly to the source, and for TTL >= 2 every node forwards one redundant
+// copy to every node other than itself and the source.
+func (e *evaluator) evalCliqueQueries() {
+	n := e.inst.Graph.N()
+	ttl := e.inst.Config.TTL
+	sp := e.res.spShared
+
+	var totFlow flow
+	var totW, totUsers float64
+	for v := 0; v < n; v++ {
+		totFlow.add(e.own[v])
+		totW += e.qWeight[v]
+		totUsers += e.users[v]
+	}
+	flooding := ttl >= 1 && n > 1
+	dupCopies := 0.0
+	if ttl >= 2 && n >= 3 {
+		dupCopies = float64(n - 2)
+	}
+
+	for v := 0; v < n; v++ {
+		w := e.qWeight[v]
+		wr := totW - w // queries per second arriving from remote sources
+
+		if !flooding {
+			// Degenerate case: a single cluster or TTL 0 — queries stay home.
+			sp[v].procU += w * float64(cost.ProcessQuery(e.own[v].results))
+			e.res.bd.process(w, float64(cost.ProcessQuery(e.own[v].results)))
+			e.res.respToSource[v] = e.own[v]
+			if w > 0 {
+				e.resultsNum += w * e.own[v].results
+				e.resultsDen += w
+				e.reachClustersNum += w
+				e.reachPeersNum += w * e.users[v]
+			}
+			continue
+		}
+
+		// As source: flood to the n-1 neighbors, receive every remote
+		// cluster's response directly.
+		rem := totFlow
+		rem.msgs -= e.own[v].msgs
+		rem.addrs -= e.own[v].addrs
+		rem.results -= e.own[v].results
+		sp[v].outBytes += w * float64(n-1) * e.qBytes
+		sp[v].procU += w * float64(n-1) * e.sendQProc
+		sp[v].msgs += w * float64(n-1)
+		sp[v].inBytes += w * respBytes(rem)
+		sp[v].procU += w * recvRespProc(rem)
+		sp[v].msgs += w * rem.msgs
+		e.res.respToSource[v] = totFlow
+		e.res.bd.queryTransfer(w*float64(n-1), e.qBytes, e.sendQProc, e.recvQProc)
+
+		// Every cluster processes every query in the system exactly once.
+		sp[v].procU += totW * float64(cost.ProcessQuery(e.own[v].results))
+		e.res.bd.process(totW, float64(cost.ProcessQuery(e.own[v].results)))
+
+		// As responder for remote queries: receive the primary copy plus
+		// any redundant copies, respond directly to the source, and (for
+		// TTL >= 2) forward one redundant copy to everyone else.
+		copies := 1 + dupCopies
+		sp[v].inBytes += wr * copies * e.qBytes
+		sp[v].procU += wr * copies * e.recvQProc
+		sp[v].msgs += wr * copies
+		sp[v].outBytes += wr * respBytes(e.own[v])
+		sp[v].procU += wr * sendRespProc(e.own[v])
+		sp[v].msgs += wr * e.own[v].msgs
+		e.res.bd.respTransfer(wr, respBytes(e.own[v]), sendRespProc(e.own[v]), recvRespProc(e.own[v]))
+		if dupCopies > 0 {
+			sp[v].outBytes += wr * dupCopies * e.qBytes
+			sp[v].procU += wr * dupCopies * e.sendQProc
+			sp[v].msgs += wr * dupCopies
+			e.res.bd.queryTransfer(wr*dupCopies, e.qBytes, e.sendQProc, e.recvQProc)
+		}
+
+		// Traversal metrics: full reach, all responses one hop out.
+		if w > 0 {
+			e.resultsNum += w * totFlow.results
+			e.resultsDen += w
+			e.reachClustersNum += w * float64(n)
+			e.reachPeersNum += w * totUsers
+			e.eplNum += w * rem.msgs // every message travels exactly 1 hop
+			e.eplDen += w * rem.msgs
+		}
+	}
+}
+
+// evalClientLegs charges the per-query interactions between clients and
+// their super-peer: the client submits each query to one partner and
+// receives every Response message back; the super-peer side (receive query,
+// forward responses) is charged to the cluster here too.
+func (e *evaluator) evalClientLegs() {
+	qRate := e.inst.Profile.Rates.QueryRate
+	sp := e.res.spShared
+	for v := range e.inst.Clusters {
+		cl := &e.inst.Clusters[v]
+		total := e.res.respToSource[v]
+		b := respBytes(total)
+
+		// Super-peer side, per query sourced by one of its clients.
+		wc := qRate * float64(len(cl.Clients))
+		if wc > 0 {
+			sp[v].inBytes += wc * e.qBytes
+			sp[v].procU += wc * e.recvQProc
+			sp[v].msgs += wc
+			sp[v].outBytes += wc * b
+			sp[v].procU += wc * sendRespProc(total)
+			sp[v].msgs += wc * total.msgs
+			e.res.bd.queryTransfer(wc, e.qBytes, e.sendQProc, e.recvQProc)
+			e.res.bd.respTransfer(wc, b, sendRespProc(total), recvRespProc(total))
+		}
+
+		// Client side, identical for every client of the cluster.
+		base := &e.res.clientBase[v]
+		base.outBytes += qRate * e.qBytes
+		base.procU += qRate * e.sendQProc
+		base.msgs += qRate
+		base.inBytes += qRate * b
+		base.procU += qRate * recvRespProc(total)
+		base.msgs += qRate * total.msgs
+	}
+}
+
+// evalJoins charges client joins (metadata shipped to every partner;
+// Section 3.2) and the super-peers' own collection indexing. Join rate is
+// per node: the inverse of the node's session lifespan.
+func (e *evaluator) evalJoins() {
+	partners := e.inst.Config.Partners()
+	for v := range e.inst.Clusters {
+		cl := &e.inst.Clusters[v]
+		pp := &e.res.spPerPartner[v]
+		e.res.clientJoin[v] = make([]rawLoad, len(cl.Clients))
+
+		for i, c := range cl.Clients {
+			jr := 1 / c.Lifespan
+			jb, jpS := cost.SendJoin(c.Files)
+			_, jpR := cost.RecvJoin(c.Files)
+
+			// Client side: one Join per partner.
+			cj := &e.res.clientJoin[v][i]
+			k := float64(partners)
+			cj.outBytes += jr * k * float64(jb)
+			cj.procU += jr * k * float64(jpS)
+			cj.msgs += jr * k
+
+			// Each partner receives and indexes the full metadata.
+			pp.inBytes += jr * float64(jb)
+			pp.procU += jr * (float64(jpR) + float64(cost.ProcessJoin(c.Files)))
+			pp.msgs += jr
+			e.res.bd.join(2*jr*k*float64(jb),
+				jr*k*(float64(jpS)+float64(jpR)+float64(cost.ProcessJoin(c.Files))))
+		}
+
+		// The super-peers' own collections: each partner indexes its own
+		// files locally and, with k-redundancy, ships them to its k-1
+		// co-partners and indexes each co-partner's collection in turn. The
+		// k partners' loads are averaged into the per-partner accumulator.
+		k := float64(partners)
+		var inB, outB, proc, msgs float64
+		for _, self := range cl.Partners {
+			js := 1 / self.Lifespan
+			sb, spr := cost.SendJoin(self.Files)
+			_, rpr := cost.RecvJoin(self.Files)
+			// Own indexing plus (k-1) sends of the own collection.
+			proc += js * ((k-1)*float64(spr) + float64(cost.ProcessJoin(self.Files)))
+			outB += js * (k - 1) * float64(sb)
+			msgs += js * (k - 1)
+			// Each of the other k-1 partners receives and indexes it.
+			inB += js * (k - 1) * float64(sb)
+			proc += js * (k - 1) * (float64(rpr) + float64(cost.ProcessJoin(self.Files)))
+			msgs += js * (k - 1)
+		}
+		pp.inBytes += inB / k
+		pp.outBytes += outB / k
+		pp.procU += proc / k
+		pp.msgs += msgs / k
+		// inB/outB/proc are totals across the k partners, which is exactly
+		// this cluster's aggregate contribution.
+		e.res.bd.join(inB+outB, proc)
+	}
+}
+
+// evalUpdates charges collection updates: each client sends every update to
+// every partner; partners apply it to their index (Section 3.2).
+func (e *evaluator) evalUpdates() {
+	uRate := e.inst.Profile.Rates.UpdateRate
+	if uRate == 0 {
+		return
+	}
+	partners := e.inst.Config.Partners()
+	ub, upS := cost.SendUpdateCost()
+	_, upR := cost.RecvUpdateCost()
+	upP := cost.ProcessUpdateCost()
+	for v := range e.inst.Clusters {
+		cl := &e.inst.Clusters[v]
+		pp := &e.res.spPerPartner[v]
+
+		// Client side (same for every client).
+		base := &e.res.clientBase[v]
+		k := float64(partners)
+		base.outBytes += uRate * k * float64(ub)
+		base.procU += uRate * k * float64(upS)
+		base.msgs += uRate * k
+		nc := float64(len(cl.Clients))
+		e.res.bd.update(2*uRate*k*float64(ub)*nc,
+			uRate*k*nc*(float64(upS)+float64(upR)+float64(upP)))
+
+		// Each partner receives every client's updates in full.
+		wc := uRate * float64(len(cl.Clients))
+		pp.inBytes += wc * float64(ub)
+		pp.procU += wc * (float64(upR) + float64(upP))
+		pp.msgs += wc
+
+		// Partners' own updates: applied locally; with k-redundancy also
+		// shipped to the k-1 co-partners (symmetric, so per-partner load is
+		// k-1 sends plus k-1 receives).
+		pp.procU += uRate * float64(upP)
+		e.res.bd.update(0, uRate*float64(upP)*k)
+		if co := float64(partners - 1); co > 0 {
+			pp.outBytes += uRate * co * float64(ub)
+			pp.inBytes += uRate * co * float64(ub)
+			pp.procU += uRate*co*float64(upS) + uRate*co*(float64(upR)+float64(upP))
+			pp.msgs += 2 * co * uRate
+			e.res.bd.update(2*uRate*co*float64(ub)*k,
+				uRate*co*k*(float64(upS)+float64(upR)+float64(upP)))
+		}
+	}
+}
+
+// finalizeMetrics turns the rate-weighted accumulators into the Result's
+// summary metrics.
+func (e *evaluator) finalizeMetrics() {
+	if e.resultsDen > 0 {
+		e.res.ResultsPerQuery = e.resultsNum / e.resultsDen
+		e.res.MeanReachClusters = e.reachClustersNum / e.resultsDen
+		e.res.MeanReachPeers = e.reachPeersNum / e.resultsDen
+	}
+	if e.eplDen > 0 {
+		e.res.EPL = e.eplNum / e.eplDen
+	}
+}

@@ -1,0 +1,99 @@
+// Package analysis implements the paper's mean-value analysis framework
+// (Section 4.1, Steps 2–4): given a realized network instance, it computes
+// the expected load of every node — incoming bandwidth, outgoing bandwidth
+// and processing power — and the expected quality of results, by modeling
+// query propagation as a breadth-first flood with TTL, response routing over
+// the reverse path, and the join/update interactions between clients and
+// super-peers. Aggregate load (eq. 4), group load (eq. 3), per-node load
+// (eq. 1) and results per query (eq. 2) are all derived from one evaluation.
+package analysis
+
+import (
+	"fmt"
+
+	"spnet/internal/cost"
+)
+
+// Load is the amount of work an entity must do per unit of time, measured
+// along the paper's three resource types: incoming bandwidth, outgoing
+// bandwidth (bits per second) and processing power (cycles per second).
+type Load struct {
+	// InBps is incoming bandwidth in bits per second.
+	InBps float64
+	// OutBps is outgoing bandwidth in bits per second.
+	OutBps float64
+	// ProcHz is processing power in cycles per second.
+	ProcHz float64
+}
+
+// Add returns the sum of two loads.
+func (l Load) Add(m Load) Load {
+	return Load{l.InBps + m.InBps, l.OutBps + m.OutBps, l.ProcHz + m.ProcHz}
+}
+
+// Scale returns the load multiplied by a scalar.
+func (l Load) Scale(k float64) Load {
+	return Load{l.InBps * k, l.OutBps * k, l.ProcHz * k}
+}
+
+// TotalBps returns incoming plus outgoing bandwidth — the "Bandwidth
+// (In + Out)" axis of the paper's Figure 4.
+func (l Load) TotalBps() float64 { return l.InBps + l.OutBps }
+
+func (l Load) String() string {
+	return fmt.Sprintf("in %.4g bps, out %.4g bps, proc %.4g Hz", l.InBps, l.OutBps, l.ProcHz)
+}
+
+// rawLoad accumulates load in the cost model's native units — bytes/sec and
+// processing units/sec — plus the handled-message rate, from which the
+// packet-multiplex overhead (Appendix A) is derived at finalization time.
+type rawLoad struct {
+	inBytes  float64 // bytes/sec
+	outBytes float64 // bytes/sec
+	procU    float64 // units/sec, excluding packet multiplex
+	msgs     float64 // messages handled (sent or received) per sec
+}
+
+func (r *rawLoad) add(s rawLoad) {
+	r.inBytes += s.inBytes
+	r.outBytes += s.outBytes
+	r.procU += s.procU
+	r.msgs += s.msgs
+}
+
+func (r *rawLoad) scale(k float64) {
+	r.inBytes *= k
+	r.outBytes *= k
+	r.procU *= k
+	r.msgs *= k
+}
+
+// finalize converts a raw load to a Load, adding the packet-multiplex
+// processing overhead for a node with the given number of open connections
+// (Appendix A: .01 units per open connection per message handled).
+func (r rawLoad) finalize(openConns int) Load {
+	procUnits := r.procU + r.msgs*float64(cost.PacketMultiplex(openConns))
+	return Load{
+		InBps:  r.inBytes * 8,
+		OutBps: r.outBytes * 8,
+		ProcHz: cost.UnitsToHz(procUnits),
+	}
+}
+
+// flow is an expected bundle of Response traffic: msgs Response messages
+// carrying addrs responder addresses and results result records in total.
+// Flows add as they are aggregated up the reverse path of a query.
+type flow struct {
+	msgs    float64
+	addrs   float64
+	results float64
+}
+
+func (f *flow) add(g flow) {
+	f.msgs += g.msgs
+	f.addrs += g.addrs
+	f.results += g.results
+}
+
+// isZero reports whether the flow carries nothing.
+func (f flow) isZero() bool { return f.msgs == 0 && f.addrs == 0 && f.results == 0 }

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+
+	"spnet/internal/network"
+	"spnet/internal/stats"
+	"spnet/internal/workload"
+)
+
+// LoadSummary summarizes a Load metric over repeated trials, one Summary per
+// resource type.
+type LoadSummary struct {
+	InBps  stats.Summary
+	OutBps stats.Summary
+	ProcHz stats.Summary
+}
+
+// Mean returns the trial-mean load.
+func (s LoadSummary) Mean() Load {
+	return Load{InBps: s.InBps.Mean, OutBps: s.OutBps.Mean, ProcHz: s.ProcHz.Mean}
+}
+
+// TrialSummary is Step 4's output: E[E[M | I]] = E[M] with 95% confidence
+// intervals, over several independently generated instances of one
+// configuration.
+type TrialSummary struct {
+	Config network.Config
+	Trials int
+
+	// Aggregate is the aggregate load over all nodes (eq. 4).
+	Aggregate LoadSummary
+	// SuperPeer is the mean individual super-peer (partner) load (eq. 3).
+	SuperPeer LoadSummary
+	// Client is the mean individual client load (eq. 3).
+	Client LoadSummary
+
+	ResultsPerQuery stats.Summary
+	EPL             stats.Summary
+	ReachClusters   stats.Summary
+	ReachPeers      stats.Summary
+}
+
+// RunTrials generates `trials` independent instances of cfg (profile nil
+// selects the default workload), evaluates each, and summarizes the results
+// with 95% confidence intervals. Trial t uses an RNG stream derived from
+// (seed, t), so individual trials are reproducible regardless of order.
+func RunTrials(cfg network.Config, prof *workload.Profile, trials int, seed uint64) (*TrialSummary, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("analysis: trials = %d, want > 0", trials)
+	}
+	var (
+		aggIn, aggOut, aggProc    []float64
+		spIn, spOut, spProc       []float64
+		clIn, clOut, clProc       []float64
+		results, epl              []float64
+		reachClusters, reachPeers []float64
+	)
+	root := stats.NewRNG(seed)
+	for t := 0; t < trials; t++ {
+		inst, err := network.Generate(cfg, prof, root.Split(uint64(t)))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: trial %d: %w", t, err)
+		}
+		res := Evaluate(inst)
+
+		agg := res.AggregateLoad()
+		aggIn = append(aggIn, agg.InBps)
+		aggOut = append(aggOut, agg.OutBps)
+		aggProc = append(aggProc, agg.ProcHz)
+
+		spl := res.MeanSuperPeerLoad()
+		spIn = append(spIn, spl.InBps)
+		spOut = append(spOut, spl.OutBps)
+		spProc = append(spProc, spl.ProcHz)
+
+		cll := res.MeanClientLoad()
+		clIn = append(clIn, cll.InBps)
+		clOut = append(clOut, cll.OutBps)
+		clProc = append(clProc, cll.ProcHz)
+
+		results = append(results, res.ResultsPerQuery)
+		epl = append(epl, res.EPL)
+		reachClusters = append(reachClusters, res.MeanReachClusters)
+		reachPeers = append(reachPeers, res.MeanReachPeers)
+	}
+	return &TrialSummary{
+		Config: cfg,
+		Trials: trials,
+		Aggregate: LoadSummary{
+			InBps:  stats.Summarize(aggIn),
+			OutBps: stats.Summarize(aggOut),
+			ProcHz: stats.Summarize(aggProc),
+		},
+		SuperPeer: LoadSummary{
+			InBps:  stats.Summarize(spIn),
+			OutBps: stats.Summarize(spOut),
+			ProcHz: stats.Summarize(spProc),
+		},
+		Client: LoadSummary{
+			InBps:  stats.Summarize(clIn),
+			OutBps: stats.Summarize(clOut),
+			ProcHz: stats.Summarize(clProc),
+		},
+		ResultsPerQuery: stats.Summarize(results),
+		EPL:             stats.Summarize(epl),
+		ReachClusters:   stats.Summarize(reachClusters),
+		ReachPeers:      stats.Summarize(reachPeers),
+	}, nil
+}

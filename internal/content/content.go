@@ -1,0 +1,132 @@
+// Package content generates a synthetic file-sharing corpus: file titles
+// composed of Zipf-distributed vocabulary terms, and keyword queries drawn
+// from the same popularity law — popular queries target popular content,
+// the correlation the measured query model of [25] exhibits.
+//
+// It closes the loop between the concrete inverted-index substrate
+// (internal/index) and the abstract query model of Appendix B
+// (internal/workload): BuildQueryModel measures each query class's actual
+// selection power over a sampled corpus and emits a workload.QueryModel, so
+// the mean-value analysis can be calibrated from content instead of
+// hand-picked constants.
+package content
+
+import (
+	"fmt"
+
+	"spnet/internal/stats"
+	"spnet/internal/workload"
+)
+
+// Library is a term vocabulary with Zipf popularity.
+type Library struct {
+	vocab []string
+	zipf  *stats.Zipf
+	// TitleTerms is the number of terms per generated file title.
+	TitleTerms int
+	// QueryTerms is the number of terms per generated query; conjunctive
+	// queries with more terms are more selective.
+	QueryTerms int
+}
+
+// NewLibrary builds a vocabulary of vocabSize terms whose popularity follows
+// a Zipf law with the given exponent.
+func NewLibrary(vocabSize int, exponent float64) (*Library, error) {
+	if vocabSize <= 1 {
+		return nil, fmt.Errorf("content: vocabSize = %d, want > 1", vocabSize)
+	}
+	if exponent < 0 {
+		return nil, fmt.Errorf("content: exponent = %v, want >= 0", exponent)
+	}
+	l := &Library{
+		vocab:      make([]string, vocabSize),
+		zipf:       stats.NewZipf(vocabSize, exponent),
+		TitleTerms: 3,
+		QueryTerms: 1,
+	}
+	for i := range l.vocab {
+		l.vocab[i] = fmt.Sprintf("w%04d", i)
+	}
+	return l, nil
+}
+
+// DefaultLibrary returns a 10000-term vocabulary with exponent 0.6,
+// calibrated so the mean selection power of single-term queries lands in
+// the ~10⁻³ regime of the default analytic workload model.
+func DefaultLibrary() *Library {
+	l, err := NewLibrary(10000, 0.6)
+	if err != nil {
+		panic(err) // compile-time constants; cannot fail
+	}
+	return l
+}
+
+// VocabSize returns the vocabulary size.
+func (l *Library) VocabSize() int { return len(l.vocab) }
+
+// Term returns the rank-r term (rank 0 is the most popular).
+func (l *Library) Term(r int) string { return l.vocab[r] }
+
+// sampleDistinctRanks draws n distinct term ranks from the Zipf law.
+func (l *Library) sampleDistinctRanks(rng *stats.RNG, n int) []int {
+	ranks := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for len(ranks) < n {
+		r := l.zipf.Sample(rng)
+		if !seen[r] {
+			seen[r] = true
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}
+
+// SampleTitle draws TitleTerms distinct terms for a file title.
+func (l *Library) SampleTitle(rng *stats.RNG) []string {
+	ranks := l.sampleDistinctRanks(rng, l.TitleTerms)
+	terms := make([]string, len(ranks))
+	for i, r := range ranks {
+		terms[i] = l.vocab[r]
+	}
+	return terms
+}
+
+// SampleQuery draws QueryTerms distinct terms for a keyword query.
+func (l *Library) SampleQuery(rng *stats.RNG) []string {
+	ranks := l.sampleDistinctRanks(rng, l.QueryTerms)
+	terms := make([]string, len(ranks))
+	for i, r := range ranks {
+		terms[i] = l.vocab[r]
+	}
+	return terms
+}
+
+// BuildQueryModel measures the selection power of every single-term query
+// class over a sampled corpus of corpusFiles titles and returns the matching
+// Appendix B query model: g(j) is the term's query popularity (the Zipf
+// law), and f(j) is the measured fraction of titles containing term j.
+//
+// This is the bridge from concrete content to the analytical model: the
+// resulting model can drive both the mean-value analysis and the
+// match-sampling simulator, calibrated by the corpus instead of by constants.
+func (l *Library) BuildQueryModel(rng *stats.RNG, corpusFiles int) (*workload.QueryModel, error) {
+	if corpusFiles <= 0 {
+		return nil, fmt.Errorf("content: corpusFiles = %d, want > 0", corpusFiles)
+	}
+	counts := make([]int, len(l.vocab))
+	for i := 0; i < corpusFiles; i++ {
+		for _, r := range l.sampleDistinctRanks(rng, l.TitleTerms) {
+			counts[r]++
+		}
+	}
+	g := make([]float64, len(l.vocab))
+	f := make([]float64, len(l.vocab))
+	for r := range l.vocab {
+		g[r] = l.zipf.P(r)
+		f[r] = float64(counts[r]) / float64(corpusFiles)
+		if f[r] > 1 {
+			f[r] = 1
+		}
+	}
+	return workload.NewQueryModel(g, f)
+}

@@ -1,0 +1,125 @@
+package content
+
+import (
+	"math"
+	"testing"
+
+	"spnet/internal/index"
+	"spnet/internal/stats"
+)
+
+func TestNewLibraryValidation(t *testing.T) {
+	if _, err := NewLibrary(1, 1); err == nil {
+		t.Error("vocabSize 1 accepted")
+	}
+	if _, err := NewLibrary(10, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	l, err := NewLibrary(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.VocabSize() != 10 {
+		t.Errorf("VocabSize = %d", l.VocabSize())
+	}
+}
+
+func TestSampleTitleDistinctTerms(t *testing.T) {
+	l := DefaultLibrary()
+	rng := stats.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		title := l.SampleTitle(rng)
+		if len(title) != l.TitleTerms {
+			t.Fatalf("title has %d terms, want %d", len(title), l.TitleTerms)
+		}
+		seen := map[string]bool{}
+		for _, term := range title {
+			if seen[term] {
+				t.Fatalf("duplicate term %q in title %v", term, title)
+			}
+			seen[term] = true
+		}
+	}
+}
+
+func TestPopularTermsAppearMoreOften(t *testing.T) {
+	l := DefaultLibrary()
+	rng := stats.NewRNG(2)
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		for _, term := range l.SampleTitle(rng) {
+			counts[term]++
+		}
+	}
+	if counts[l.Term(0)] <= counts[l.Term(100)] {
+		t.Errorf("rank 0 (%d) not more frequent than rank 100 (%d)",
+			counts[l.Term(0)], counts[l.Term(100)])
+	}
+	if counts[l.Term(100)] <= counts[l.Term(1500)] {
+		t.Errorf("rank 100 (%d) not more frequent than rank 1500 (%d)",
+			counts[l.Term(100)], counts[l.Term(1500)])
+	}
+}
+
+func TestBuildQueryModel(t *testing.T) {
+	l := DefaultLibrary()
+	rng := stats.NewRNG(3)
+	qm, err := l.BuildQueryModel(rng.Split(1), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.Classes() != l.VocabSize() {
+		t.Fatalf("classes = %d, want %d", qm.Classes(), l.VocabSize())
+	}
+	// The measured selection power of the top term should approximate its
+	// title-occurrence probability; the most popular term appears in
+	// roughly P(rank 0)·TitleTerms of titles.
+	if f0 := qm.SelectionPower(0); f0 <= qm.SelectionPower(500) {
+		t.Error("selection power not decreasing in rank")
+	}
+
+	// Cross-check against a real corpus: expected results from the model
+	// must match actual index counts within sampling noise.
+	const corpus = 4000
+	ix := index.New()
+	for i := 0; i < corpus; i++ {
+		if err := ix.Add(index.DocID{Owner: i, File: 0}, l.SampleTitle(rng.Split(2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var modelTotal, actualTotal float64
+	const draws = 3000
+	qrng := rng.Split(3)
+	for i := 0; i < draws; i++ {
+		terms := l.SampleQuery(qrng)
+		n, _ := ix.CountMatches(terms)
+		actualTotal += float64(n)
+	}
+	modelTotal = qm.ExpectedResults(corpus) * draws
+	ratio := actualTotal / modelTotal
+	if math.Abs(ratio-1) > 0.15 {
+		t.Errorf("actual/model results ratio = %.2f, want ~1", ratio)
+	}
+}
+
+func TestBuildQueryModelValidation(t *testing.T) {
+	l := DefaultLibrary()
+	if _, err := l.BuildQueryModel(stats.NewRNG(1), 0); err == nil {
+		t.Error("corpusFiles 0 accepted")
+	}
+}
+
+func TestDefaultLibrarySelectionPowerScale(t *testing.T) {
+	// The default library's mean selection power should be in the same
+	// regime as the default analytic model (~1e-3), so content-mode and
+	// sampled-mode simulations are comparable.
+	l := DefaultLibrary()
+	qm, err := l.BuildQueryModel(stats.NewRNG(4), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbar := qm.MeanSelectionPower()
+	if pbar < 3e-4 || pbar > 8e-3 {
+		t.Errorf("mean selection power = %v, want ~1e-3 regime", pbar)
+	}
+}

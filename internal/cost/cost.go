@@ -1,0 +1,145 @@
+// Package cost implements the paper's cost model for atomic actions
+// (Table 2): per-action bandwidth in bytes (delegated to the wire-format
+// formulas in internal/gnutella) and processing cost in coarse "units",
+// where one unit is the cost of sending and receiving a Gnutella message
+// with no payload — measured as roughly 7200 cycles on the paper's
+// Pentium III 930 MHz reference machine. The packet-multiplex overhead of
+// Appendix A (the select()-scan cost growing linearly with the number of
+// open connections) is modeled here as well.
+package cost
+
+import "spnet/internal/gnutella"
+
+// CyclesPerUnit converts processing units to CPU cycles: "A unit is defined
+// to be the cost of sending and receiving a Gnutella message with no
+// payload, which was measured to be roughly 7200 cycles."
+const CyclesPerUnit = 7200
+
+// UnitsToHz converts a processing rate in units/second to cycles/second.
+func UnitsToHz(unitsPerSec float64) float64 { return unitsPerSec * CyclesPerUnit }
+
+// Processing-cost constants (Table 2), in units. Two constants are damaged
+// in the surviving copy of the paper and are reconstructed (see DESIGN.md,
+// substitution 4): ProcessJoinPerFile and ProcessUpdate. Both are cheap
+// relative to query costs; Appendix C confirms overall results are
+// insensitive to the update constants.
+const (
+	SendQueryBase     = 0.44 // + SendQueryPerByte · query length
+	SendQueryPerByte  = 0.003
+	RecvQueryBase     = 0.57 // + RecvQueryPerByte · query length
+	RecvQueryPerByte  = 0.004
+	ProcessQueryBase  = 0.14 // + ProcessQueryPerResult · #results
+	ProcessQueryPerRe = 1.1
+
+	SendRespBase      = 0.21 // + .31·#addr + .2·#results
+	SendRespPerAddr   = 0.31
+	SendRespPerResult = 0.2
+	RecvRespBase      = 0.26 // + .41·#addr + .3·#results
+	RecvRespPerAddr   = 0.41
+	RecvRespPerResult = 0.3
+
+	SendJoinBase       = 0.44 // + .2·#files (paper's worked example, §4 step 2)
+	SendJoinPerFile    = 0.2
+	RecvJoinBase       = 0.56 // + .3·#files
+	RecvJoinPerFile    = 0.3
+	ProcessJoinBase    = 0.14 // + ProcessJoinPerFile·#files (reconstructed)
+	ProcessJoinPerFile = 0.05
+
+	SendUpdate    = 0.6
+	RecvUpdate    = 0.8
+	ProcessUpdate = 3.0 // index maintenance for one metadata record (reconstructed)
+
+	// PacketMultiplexPerConn is the Appendix A per-message overhead:
+	// .04 units per select() file-descriptor scan, amortized over ~4
+	// messages per call, i.e. .01 units per open connection per message
+	// handled (sent or received).
+	PacketMultiplexPerConn = 0.01
+)
+
+// Bytes is a bandwidth amount in bytes; Units is processing work in the
+// paper's coarse units.
+type (
+	Bytes float64
+	Units float64
+)
+
+// SendQuery returns the cost of transmitting a query with the given string
+// length: bandwidth on the sender's outgoing link and processing units.
+func SendQuery(queryLen int) (Bytes, Units) {
+	return Bytes(gnutella.QuerySize(queryLen)),
+		Units(SendQueryBase + SendQueryPerByte*float64(queryLen))
+}
+
+// RecvQuery returns the cost of receiving a query with the given string
+// length: bandwidth on the receiver's incoming link and processing units.
+func RecvQuery(queryLen int) (Bytes, Units) {
+	return Bytes(gnutella.QuerySize(queryLen)),
+		Units(RecvQueryBase + RecvQueryPerByte*float64(queryLen))
+}
+
+// ProcessQuery returns the processing cost of evaluating a query over the
+// local index, yielding the given number of results. It consumes no
+// bandwidth. Fractional (expected) result counts are accepted because the
+// analysis engine works in expectations.
+func ProcessQuery(results float64) Units {
+	return Units(ProcessQueryBase + ProcessQueryPerRe*results)
+}
+
+// SendResponse returns the cost of transmitting one Response message with
+// the given expected responder-address and result counts. Expected
+// (fractional) counts are accepted; messages scales the per-message fixed
+// overhead and is 1 for a concrete message or P(responding) in expectation.
+func SendResponse(messages, addrs, results float64) (Bytes, Units) {
+	return Bytes(float64(gnutella.ResponseFixedLen)*messages +
+			float64(gnutella.ResponderRecordLen)*addrs +
+			float64(gnutella.ResultRecordLen)*results),
+		Units(SendRespBase*messages + SendRespPerAddr*addrs + SendRespPerResult*results)
+}
+
+// RecvResponse is the receiving-side analogue of SendResponse.
+func RecvResponse(messages, addrs, results float64) (Bytes, Units) {
+	return Bytes(float64(gnutella.ResponseFixedLen)*messages +
+			float64(gnutella.ResponderRecordLen)*addrs +
+			float64(gnutella.ResultRecordLen)*results),
+		Units(RecvRespBase*messages + RecvRespPerAddr*addrs + RecvRespPerResult*results)
+}
+
+// SendJoin returns the cost of a client transmitting its Join message with
+// metadata for numFiles files.
+func SendJoin(numFiles int) (Bytes, Units) {
+	return Bytes(gnutella.JoinSize(numFiles)),
+		Units(SendJoinBase + SendJoinPerFile*float64(numFiles))
+}
+
+// RecvJoin returns the cost of a super-peer receiving a Join message.
+func RecvJoin(numFiles int) (Bytes, Units) {
+	return Bytes(gnutella.JoinSize(numFiles)),
+		Units(RecvJoinBase + RecvJoinPerFile*float64(numFiles))
+}
+
+// ProcessJoin returns the processing cost of adding numFiles metadata
+// records to the super-peer's index. No bandwidth is consumed.
+func ProcessJoin(numFiles int) Units {
+	return Units(ProcessJoinBase + ProcessJoinPerFile*float64(numFiles))
+}
+
+// SendUpdateCost returns the cost of a client transmitting one Update.
+func SendUpdateCost() (Bytes, Units) {
+	return Bytes(gnutella.UpdateSize()), Units(SendUpdate)
+}
+
+// RecvUpdateCost returns the cost of a super-peer receiving one Update.
+func RecvUpdateCost() (Bytes, Units) {
+	return Bytes(gnutella.UpdateSize()), Units(RecvUpdate)
+}
+
+// ProcessUpdateCost returns the processing cost of applying one Update to
+// the index.
+func ProcessUpdateCost() Units { return Units(ProcessUpdate) }
+
+// PacketMultiplex returns the per-message OS overhead for a node with the
+// given number of open connections (Appendix A). It is charged once per
+// message sent or received.
+func PacketMultiplex(openConnections int) Units {
+	return Units(PacketMultiplexPerConn * float64(openConnections))
+}

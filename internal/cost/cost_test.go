@@ -1,0 +1,164 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSendQueryMatchesTable2(t *testing.T) {
+	bw, proc := SendQuery(12)
+	if bw != 94 {
+		t.Errorf("bandwidth = %v, want 94", bw)
+	}
+	if !almost(float64(proc), 0.44+0.003*12) {
+		t.Errorf("processing = %v, want %v", proc, 0.44+0.003*12)
+	}
+}
+
+func TestRecvQueryMatchesTable2(t *testing.T) {
+	bw, proc := RecvQuery(12)
+	if bw != 94 {
+		t.Errorf("bandwidth = %v, want 94", bw)
+	}
+	if !almost(float64(proc), 0.57+0.004*12) {
+		t.Errorf("processing = %v", proc)
+	}
+}
+
+func TestProcessQuery(t *testing.T) {
+	if !almost(float64(ProcessQuery(0)), 0.14) {
+		t.Errorf("ProcessQuery(0) = %v, want 0.14", ProcessQuery(0))
+	}
+	if !almost(float64(ProcessQuery(10)), 0.14+11) {
+		t.Errorf("ProcessQuery(10) = %v", ProcessQuery(10))
+	}
+}
+
+func TestResponseCosts(t *testing.T) {
+	bw, proc := SendResponse(1, 2, 3)
+	if !almost(float64(bw), 80+2*28+3*76) {
+		t.Errorf("send bandwidth = %v, want %d", bw, 80+2*28+3*76)
+	}
+	if !almost(float64(proc), 0.21+0.31*2+0.2*3) {
+		t.Errorf("send processing = %v", proc)
+	}
+	bw2, proc2 := RecvResponse(1, 2, 3)
+	if bw2 != bw {
+		t.Errorf("recv bandwidth %v != send bandwidth %v", bw2, bw)
+	}
+	if !almost(float64(proc2), 0.26+0.41*2+0.3*3) {
+		t.Errorf("recv processing = %v", proc2)
+	}
+}
+
+func TestResponseExpectedMessageScaling(t *testing.T) {
+	// With probability-of-response 0.5, the fixed per-message overhead
+	// halves but the per-result terms are unaffected.
+	bwFull, _ := SendResponse(1, 0, 4)
+	bwHalf, _ := SendResponse(0.5, 0, 4)
+	if !almost(float64(bwFull-bwHalf), 40) {
+		t.Errorf("fixed-overhead delta = %v, want 40", bwFull-bwHalf)
+	}
+}
+
+func TestJoinCostsMatchWorkedExample(t *testing.T) {
+	// Paper §4 step 2: a client with x files has outgoing bandwidth
+	// 80 + 72x and processing .44 + .2x (+ .01m packet multiplex).
+	const x = 10
+	bw, proc := SendJoin(x)
+	if !almost(float64(bw), 80+72*x) {
+		t.Errorf("join bandwidth = %v, want %d", bw, 80+72*x)
+	}
+	if !almost(float64(proc), 0.44+0.2*x) {
+		t.Errorf("join processing = %v, want %v", proc, 0.44+0.2*x)
+	}
+	m := 3
+	if !almost(float64(PacketMultiplex(m)), 0.03) {
+		t.Errorf("PacketMultiplex(3) = %v, want 0.03", PacketMultiplex(m))
+	}
+}
+
+func TestRecvAndProcessJoin(t *testing.T) {
+	bw, proc := RecvJoin(5)
+	if !almost(float64(bw), 80+72*5) {
+		t.Errorf("recv join bandwidth = %v", bw)
+	}
+	if !almost(float64(proc), 0.56+0.3*5) {
+		t.Errorf("recv join processing = %v", proc)
+	}
+	if !almost(float64(ProcessJoin(5)), 0.14+0.05*5) {
+		t.Errorf("process join = %v", ProcessJoin(5))
+	}
+}
+
+func TestUpdateCosts(t *testing.T) {
+	bw, proc := SendUpdateCost()
+	if bw != 152 || !almost(float64(proc), 0.6) {
+		t.Errorf("send update = %v, %v", bw, proc)
+	}
+	bw, proc = RecvUpdateCost()
+	if bw != 152 || !almost(float64(proc), 0.8) {
+		t.Errorf("recv update = %v, %v", bw, proc)
+	}
+	if !almost(float64(ProcessUpdateCost()), 3.0) {
+		t.Errorf("process update = %v", ProcessUpdateCost())
+	}
+}
+
+func TestUnitsToHz(t *testing.T) {
+	if got := UnitsToHz(1); got != 7200 {
+		t.Errorf("UnitsToHz(1) = %v, want 7200", got)
+	}
+	if got := UnitsToHz(0.5); got != 3600 {
+		t.Errorf("UnitsToHz(0.5) = %v, want 3600", got)
+	}
+}
+
+func TestCostsNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(qlen uint8, files uint8, m uint8, addrs, results uint8) bool {
+		checks := []float64{}
+		b, u := SendQuery(int(qlen))
+		checks = append(checks, float64(b), float64(u))
+		b, u = RecvQuery(int(qlen))
+		checks = append(checks, float64(b), float64(u))
+		checks = append(checks, float64(ProcessQuery(float64(results))))
+		b, u = SendResponse(1, float64(addrs), float64(results))
+		checks = append(checks, float64(b), float64(u))
+		b, u = RecvResponse(1, float64(addrs), float64(results))
+		checks = append(checks, float64(b), float64(u))
+		b, u = SendJoin(int(files))
+		checks = append(checks, float64(b), float64(u))
+		b, u = RecvJoin(int(files))
+		checks = append(checks, float64(b), float64(u))
+		checks = append(checks, float64(ProcessJoin(int(files))), float64(PacketMultiplex(int(m))))
+		for _, c := range checks {
+			if c < 0 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostsMonotoneProperty(t *testing.T) {
+	// More results, files, or connections never cost less.
+	if err := quick.Check(func(a, b uint8) bool {
+		lo, hi := int(min(a, b)), int(max(a, b))
+		_, p1 := SendJoin(lo)
+		_, p2 := SendJoin(hi)
+		if p2 < p1 {
+			return false
+		}
+		if ProcessQuery(float64(hi)) < ProcessQuery(float64(lo)) {
+			return false
+		}
+		return PacketMultiplex(hi) >= PacketMultiplex(lo)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package design
+
+import "spnet/internal/analysis"
+
+// LocalState is what one super-peer can observe about itself without any
+// global view: its measured load, the limit it is willing to bear, the shape
+// of its cluster and neighborhood, and how far away its query responses have
+// been coming from.
+type LocalState struct {
+	// Load is the super-peer's current measured load (e.g. an EWMA).
+	Load analysis.Load
+	// Limit is the load the super-peer is willing to handle. The paper's
+	// "limited altruism" assumption: a super-peer accepts any load below
+	// its predefined limit and never exceeds it voluntarily.
+	Limit analysis.Load
+	// Clients is the current cluster size excluding the super-peer.
+	Clients int
+	// Outdegree is the number of neighbor super-peers.
+	Outdegree int
+	// TTL is the TTL this super-peer stamps on forwarded queries.
+	TTL int
+	// MaxRespHops is the farthest hop distance from which query responses
+	// have recently been observed (0 when unknown). Rule III: if responses
+	// never come from beyond x hops, TTL can drop to x without losing reach.
+	MaxRespHops int
+	// ClusterGrowing reports whether the cluster has been gaining clients
+	// recently; rule II defers neighbor additions while it is.
+	ClusterGrowing bool
+	// GainedResultsAfterNeighbor reports whether the last neighbor added
+	// increased the number of responses (Appendix E's probe for "too many
+	// neighbors"). Only meaningful when ProbedNeighbor is true.
+	GainedResultsAfterNeighbor bool
+	// ProbedNeighbor indicates a recent neighbor addition is awaiting the
+	// Appendix E usefulness check.
+	ProbedNeighbor bool
+}
+
+// Advice is the set of local actions the Section 5.3 guidelines recommend.
+type Advice struct {
+	// AcceptClients: rule I — a super-peer should always accept new
+	// clients, unless it is about to shed load.
+	AcceptClients bool
+	// PromotePartner: the cluster is too large to handle; select a capable
+	// client to become a redundant partner (rule I, overload response).
+	PromotePartner bool
+	// SplitCluster: alternatively, promote a client to a new super-peer
+	// and split the cluster in two.
+	SplitCluster bool
+	// TryCoalesce: the cluster is far below the limit; seek another small
+	// cluster to merge with (rule I, underload response).
+	TryCoalesce bool
+	// AddNeighbor: rule II — increase outdegree while resources allow and
+	// the cluster is not growing.
+	AddNeighbor bool
+	// DropProbedNeighbor: Appendix E — the most recently added neighbor did
+	// not increase responses, so the connection should be dropped.
+	DropProbedNeighbor bool
+	// Resign: the super-peer cannot support even a few neighbors; it
+	// should consider dropping clients or becoming a client itself.
+	Resign bool
+	// NewTTL is the TTL to use from now on (rule III); equal to the current
+	// TTL when no decrease is warranted.
+	NewTTL int
+}
+
+// Thresholds tune the advisor; zero values select the defaults.
+type Thresholds struct {
+	// Overload is the load fraction above which the cluster sheds load
+	// (default 1.0 — the hard limit).
+	Overload float64
+	// Spare is the load fraction below which extra neighbors are accepted
+	// (default 0.7).
+	Spare float64
+	// Coalesce is the load fraction below which merging clusters is
+	// proposed (default 0.15).
+	Coalesce float64
+	// MinViableOutdegree is the outdegree below which a super-peer that
+	// cannot afford more neighbors should resign (default 2).
+	MinViableOutdegree int
+}
+
+func (t *Thresholds) setDefaults() {
+	if t.Overload == 0 {
+		t.Overload = 1.0
+	}
+	if t.Spare == 0 {
+		t.Spare = 0.7
+	}
+	if t.Coalesce == 0 {
+		t.Coalesce = 0.15
+	}
+	if t.MinViableOutdegree == 0 {
+		t.MinViableOutdegree = 2
+	}
+}
+
+// Utilization returns the maximum load fraction across the three resources,
+// the scalar the local rules compare against their thresholds.
+func Utilization(load, limit analysis.Load) float64 {
+	u := 0.0
+	if limit.InBps > 0 {
+		u = max(u, load.InBps/limit.InBps)
+	}
+	if limit.OutBps > 0 {
+		u = max(u, load.OutBps/limit.OutBps)
+	}
+	if limit.ProcHz > 0 {
+		u = max(u, load.ProcHz/limit.ProcHz)
+	}
+	return u
+}
+
+// Advise applies the Section 5.3 guidelines to one super-peer's local state.
+func Advise(s LocalState, th Thresholds) Advice {
+	th.setDefaults()
+	u := Utilization(s.Load, s.Limit)
+	adv := Advice{NewTTL: s.TTL}
+
+	// Rule I: always accept new clients — given the client must be served by
+	// some super-peer, refusing it helps nobody. Only an overloaded
+	// super-peer stops accepting, and it also sheds load: prefer promoting a
+	// partner (rule #2: redundancy improves both reliability and individual
+	// load); splitting is the alternative for very large clusters.
+	switch {
+	case u >= th.Overload:
+		adv.AcceptClients = false
+		if s.Clients >= 2 {
+			adv.PromotePartner = true
+			adv.SplitCluster = true
+		} else {
+			adv.Resign = s.Outdegree < th.MinViableOutdegree
+		}
+	case u <= th.Coalesce && s.Clients > 0:
+		adv.AcceptClients = true
+		adv.TryCoalesce = true
+	default:
+		adv.AcceptClients = true
+	}
+
+	// Appendix E: if a probed neighbor addition brought no new responses,
+	// the connection is pure redundant-query overhead — drop it.
+	if s.ProbedNeighbor && !s.GainedResultsAfterNeighbor {
+		adv.DropProbedNeighbor = true
+	}
+
+	// Rule II: grow outdegree while the cluster is stable and resources are
+	// spare; everyone doing so shortens the EPL for the whole network.
+	if !s.ClusterGrowing && u < th.Spare && !adv.DropProbedNeighbor && u < th.Overload {
+		adv.AddNeighbor = true
+	}
+
+	// Rule III: decrease TTL when responses never arrive from the horizon.
+	if s.MaxRespHops > 0 && s.MaxRespHops < s.TTL {
+		adv.NewTTL = s.MaxRespHops
+	}
+	return adv
+}

@@ -1,0 +1,146 @@
+package design
+
+import (
+	"testing"
+
+	"spnet/internal/analysis"
+)
+
+func limit() analysis.Load { return analysis.Load{InBps: 1000, OutBps: 1000, ProcHz: 1e6} }
+
+func TestAdviseRuleIAcceptByDefault(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{InBps: 400, OutBps: 300, ProcHz: 1e5}, Limit: limit(),
+		Clients: 10, Outdegree: 4, TTL: 7,
+	}
+	adv := Advise(s, Thresholds{})
+	if !adv.AcceptClients {
+		t.Error("rule I: should accept clients at moderate load")
+	}
+	if adv.PromotePartner || adv.SplitCluster || adv.Resign {
+		t.Errorf("no shedding expected: %+v", adv)
+	}
+	if adv.NewTTL != 7 {
+		t.Errorf("TTL changed to %d without evidence", adv.NewTTL)
+	}
+}
+
+func TestAdviseOverloadShedsLoad(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{InBps: 1500}, Limit: limit(),
+		Clients: 20, Outdegree: 4, TTL: 7,
+	}
+	adv := Advise(s, Thresholds{})
+	if adv.AcceptClients {
+		t.Error("overloaded super-peer should stop accepting")
+	}
+	if !adv.PromotePartner || !adv.SplitCluster {
+		t.Errorf("overload with many clients should propose partner/split: %+v", adv)
+	}
+	if adv.AddNeighbor {
+		t.Error("overloaded super-peer should not add neighbors")
+	}
+}
+
+func TestAdviseOverloadedLonerResigns(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{ProcHz: 2e6}, Limit: limit(),
+		Clients: 0, Outdegree: 1, TTL: 7,
+	}
+	adv := Advise(s, Thresholds{})
+	if !adv.Resign {
+		t.Error("an overloaded super-peer with no clients and one neighbor should resign")
+	}
+}
+
+func TestAdviseUnderloadCoalesces(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{InBps: 50, OutBps: 40, ProcHz: 1e4}, Limit: limit(),
+		Clients: 2, Outdegree: 3, TTL: 7,
+	}
+	adv := Advise(s, Thresholds{})
+	if !adv.TryCoalesce {
+		t.Error("far-underloaded cluster should seek a merge")
+	}
+	if !adv.AcceptClients {
+		t.Error("underloaded super-peer must still accept clients")
+	}
+}
+
+func TestAdviseRuleIIAddNeighbor(t *testing.T) {
+	base := LocalState{
+		Load: analysis.Load{InBps: 300}, Limit: limit(),
+		Clients: 10, Outdegree: 3, TTL: 7,
+	}
+	if adv := Advise(base, Thresholds{}); !adv.AddNeighbor {
+		t.Error("spare resources and stable cluster: should add a neighbor")
+	}
+	growing := base
+	growing.ClusterGrowing = true
+	if adv := Advise(growing, Thresholds{}); adv.AddNeighbor {
+		t.Error("growing cluster: should not add neighbors yet")
+	}
+	busy := base
+	busy.Load = analysis.Load{InBps: 900}
+	if adv := Advise(busy, Thresholds{}); adv.AddNeighbor {
+		t.Error("near the limit: should not add neighbors")
+	}
+}
+
+func TestAdviseAppendixEDropUselessNeighbor(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{InBps: 100}, Limit: limit(),
+		Clients: 5, Outdegree: 8, TTL: 3,
+		ProbedNeighbor: true, GainedResultsAfterNeighbor: false,
+	}
+	adv := Advise(s, Thresholds{})
+	if !adv.DropProbedNeighbor {
+		t.Error("a probed neighbor that brought no results should be dropped")
+	}
+	if adv.AddNeighbor {
+		t.Error("should not add while dropping a useless neighbor")
+	}
+	s.GainedResultsAfterNeighbor = true
+	adv = Advise(s, Thresholds{})
+	if adv.DropProbedNeighbor {
+		t.Error("a useful probed neighbor should be kept")
+	}
+}
+
+func TestAdviseRuleIIIDecreaseTTL(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{InBps: 100}, Limit: limit(),
+		Clients: 5, Outdegree: 5, TTL: 7, MaxRespHops: 3,
+	}
+	adv := Advise(s, Thresholds{})
+	if adv.NewTTL != 3 {
+		t.Errorf("NewTTL = %d, want 3 (no responses beyond 3 hops)", adv.NewTTL)
+	}
+	s.MaxRespHops = 7
+	if adv := Advise(s, Thresholds{}); adv.NewTTL != 7 {
+		t.Errorf("NewTTL = %d, want unchanged 7", adv.NewTTL)
+	}
+	s.MaxRespHops = 0 // unknown
+	if adv := Advise(s, Thresholds{}); adv.NewTTL != 7 {
+		t.Errorf("NewTTL = %d, want unchanged when unobserved", adv.NewTTL)
+	}
+}
+
+func TestAdviseCustomThresholds(t *testing.T) {
+	s := LocalState{
+		Load: analysis.Load{InBps: 600}, Limit: limit(),
+		Clients: 10, Outdegree: 3, TTL: 5,
+	}
+	// Default spare threshold 0.7 would allow a neighbor at 0.6 load.
+	if adv := Advise(s, Thresholds{}); !adv.AddNeighbor {
+		t.Error("default thresholds should add neighbor at 60% load")
+	}
+	// A stricter spare threshold blocks it.
+	if adv := Advise(s, Thresholds{Spare: 0.5}); adv.AddNeighbor {
+		t.Error("strict spare threshold should block the neighbor")
+	}
+	// A lower overload threshold triggers shedding earlier.
+	if adv := Advise(s, Thresholds{Overload: 0.5}); adv.AcceptClients {
+		t.Error("custom overload threshold should stop accepting at 60% load")
+	}
+}

@@ -1,0 +1,85 @@
+// Package design implements the paper's design layer: the global design
+// procedure of Figure 10, the TTL/EPL prediction helpers of rule #4 and
+// Appendices E–F, and the local decision rules of Section 5.3 that let
+// individual super-peers steer toward a globally efficient topology without
+// a central coordinator.
+package design
+
+import (
+	"math"
+
+	"spnet/internal/stats"
+	"spnet/internal/topology"
+)
+
+// PredictEPL returns the expected path length for the desired reach (in
+// clusters) at the given average outdegree, using the Appendix F
+// approximation EPL ≈ log_d(reach). It is a lower bound on graphs, where
+// cycles lower the effective outdegree.
+func PredictEPL(avgOutdegree float64, reachClusters int) float64 {
+	return topology.EPLApprox(avgOutdegree, reachClusters)
+}
+
+// PredictTTL returns the TTL to use for the desired reach at the given
+// average outdegree (rule #4). Appendix F warns that a TTL too close to the
+// EPL leaves reach short, since some path lengths exceed the expectation; we
+// therefore round the predicted EPL up and add one more hop when the EPL is
+// already within a quarter hop of its ceiling.
+func PredictTTL(avgOutdegree float64, reachClusters int) int {
+	if reachClusters <= 1 {
+		return 0
+	}
+	epl := PredictEPL(avgOutdegree, reachClusters)
+	if math.IsNaN(epl) {
+		return reachClusters - 1 // degenerate chain: worst case
+	}
+	ttl := int(math.Ceil(epl))
+	if float64(ttl)-epl < 0.25 {
+		ttl++
+	}
+	if ttl < 1 {
+		ttl = 1
+	}
+	return ttl
+}
+
+// MeasureEPL experimentally determines the expected path length for a
+// desired reach on power-law topologies with the given average outdegree —
+// the measurement behind the paper's Figure 9. It averages over `trials`
+// generated graphs of n nodes, each probed from a random source.
+func MeasureEPL(n int, avgOutdegree float64, reach, trials int, rng *stats.RNG) (float64, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	var sum float64
+	count := 0
+	for t := 0; t < trials; t++ {
+		g, err := topology.PowerLaw(topology.PLODParams{N: n, AvgDeg: avgOutdegree}, rng.Split(uint64(t)))
+		if err != nil {
+			return 0, err
+		}
+		src := rng.Intn(n)
+		epl := topology.EPLForReach(g, src, reach)
+		if !math.IsNaN(epl) {
+			sum += epl
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN(), nil
+	}
+	return sum / float64(count), nil
+}
+
+// MinOutdegreeForReach returns the smallest integer outdegree d such that a
+// d-regular tree of the given TTL covers reachClusters clusters — the bound
+// the Section 5.2 walk-through uses (e.g. 18 neighbors for ~342 clusters at
+// TTL 2). Returns maxOutdegree+1 if even the maximum fails.
+func MinOutdegreeForReach(reachClusters, ttl, maxOutdegree int) int {
+	for d := 1; d <= maxOutdegree; d++ {
+		if topology.TreeReachBound(d, ttl) >= float64(reachClusters) {
+			return d
+		}
+	}
+	return maxOutdegree + 1
+}

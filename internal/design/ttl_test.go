@@ -1,0 +1,114 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"spnet/internal/stats"
+)
+
+func TestPredictEPL(t *testing.T) {
+	// Appendix F: EPL ≈ log_d(reach); log_10(500) ≈ 2.7.
+	if got := PredictEPL(10, 500); math.Abs(got-2.699) > 0.01 {
+		t.Errorf("PredictEPL(10, 500) = %v, want ~2.7", got)
+	}
+	if !math.IsNaN(PredictEPL(1, 100)) {
+		t.Error("outdegree 1 should be NaN")
+	}
+}
+
+func TestPredictTTL(t *testing.T) {
+	// The Figure 9 walk-through: outdegree 20, reach 500 -> EPL ~2.5 ->
+	// TTL 3.
+	if got := PredictTTL(20, 500); got != 3 {
+		t.Errorf("PredictTTL(20, 500) = %d, want 3", got)
+	}
+	// Appendix F warning: outdegree 10, reach 500 has EPL 2.7 close to its
+	// ceiling 3, and setting TTL=3 leaves reach short; predict 4.
+	if got := PredictTTL(10, 1000); got != 4 {
+		t.Errorf("PredictTTL(10, 1000) = %d, want 4 (EPL=3 exactly, bumped)", got)
+	}
+	if got := PredictTTL(5, 1); got != 0 {
+		t.Errorf("PredictTTL(reach 1) = %d, want 0", got)
+	}
+	if got := PredictTTL(50, 10); got < 1 {
+		t.Errorf("PredictTTL = %d, want >= 1", got)
+	}
+}
+
+func TestPredictTTLMonotoneInReach(t *testing.T) {
+	prev := 0
+	for _, reach := range []int{10, 100, 1000, 10000} {
+		got := PredictTTL(8, reach)
+		if got < prev {
+			t.Errorf("TTL not monotone: reach %d -> %d (prev %d)", reach, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMeasureEPLMatchesFigure9Shape(t *testing.T) {
+	rng := stats.NewRNG(1)
+	// EPL falls as outdegree rises at fixed reach (the Figure 9 curves).
+	epl20, err := MeasureEPL(1500, 20, 500, 3, rng.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epl5, err := MeasureEPL(1500, 5, 500, 3, rng.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epl20 >= epl5 {
+		t.Errorf("EPL(outdeg 20) = %v >= EPL(outdeg 5) = %v", epl20, epl5)
+	}
+	// Figure 9: outdegree 20, reach 500 -> EPL roughly 2.5.
+	if epl20 < 1.8 || epl20 > 3.2 {
+		t.Errorf("EPL(20, 500) = %v, want ~2.5", epl20)
+	}
+	// The measured EPL lower-bounds at the Appendix F approximation.
+	if approx := PredictEPL(20, 500); epl20 < approx-0.3 {
+		t.Errorf("measured %v below approximation %v", epl20, approx)
+	}
+}
+
+func TestMeasureEPLPlateau(t *testing.T) {
+	// Appendix E: at reach 500, raising outdegree 50 -> 100 barely moves the
+	// EPL (the paper reports a .14 difference).
+	rng := stats.NewRNG(2)
+	epl50, err := MeasureEPL(1200, 50, 500, 3, rng.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epl100, err := MeasureEPL(1200, 100, 500, 3, rng.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := epl50 - epl100; diff > 0.4 || diff < -0.2 {
+		t.Errorf("EPL(50)-EPL(100) = %v, want a small plateau difference", diff)
+	}
+}
+
+func TestMeasureEPLErrors(t *testing.T) {
+	rng := stats.NewRNG(3)
+	if _, err := MeasureEPL(0, 3, 10, 1, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestMinOutdegreeForReach(t *testing.T) {
+	// Section 5.2: TTL 1, reach 150 clusters needs ~149 neighbors.
+	if got := MinOutdegreeForReach(150, 1, 1000); got != 149 {
+		t.Errorf("TTL 1 reach 150: outdegree %d, want 149", got)
+	}
+	// TTL 2, reach 300 clusters: 18 neighbors suffice (18 + 18·17 = 324).
+	if got := MinOutdegreeForReach(300, 2, 1000); got != 18 {
+		t.Errorf("TTL 2 reach 300: outdegree %d, want 18", got)
+	}
+	// Infeasible: cap respected.
+	if got := MinOutdegreeForReach(1000, 1, 50); got != 51 {
+		t.Errorf("infeasible case = %d, want maxOutdegree+1", got)
+	}
+	if got := MinOutdegreeForReach(1, 3, 10); got != 1 {
+		t.Errorf("trivial reach = %d, want 1", got)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes a report's tables and series as CSV files under dir
+// (created if needed), one file per artifact, and returns the paths written.
+// Series files have columns x,y,yerr and one file per series; table files
+// mirror their printed columns. File names are derived from the report id
+// and the table/series labels.
+func WriteCSV(r *Report, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	var paths []string
+	write := func(name string, header []string, rows [][]string) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("experiments: creating %s: %w", path, err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			f.Close()
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+
+	for i, tbl := range r.Tables {
+		name := fmt.Sprintf("%s_table%d.csv", r.ID, i+1)
+		if err := write(name, tbl.Columns, tbl.Rows); err != nil {
+			return paths, err
+		}
+	}
+	for _, s := range r.Series {
+		rows := make([][]string, len(s.X))
+		for i := range s.X {
+			yerr := ""
+			if s.YErr != nil {
+				yerr = strconv.FormatFloat(s.YErr[i], 'g', -1, 64)
+			}
+			rows[i] = []string{
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+				yerr,
+			}
+		}
+		name := fmt.Sprintf("%s_%s.csv", r.ID, slug(s.Label))
+		if err := write(name, []string{"x", "y", "yerr"}, rows); err != nil {
+			return paths, err
+		}
+	}
+	return paths, nil
+}
+
+// slug converts a free-form label to a safe file-name fragment.
+func slug(label string) string {
+	var b strings.Builder
+	lastDash := false
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash && b.Len() > 0 {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	rep := &Report{
+		ID: "demo",
+		Tables: []Table{{
+			Columns: []string{"a", "b"},
+			Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		}},
+		Series: []Series{
+			{Label: "Strong, Redundancy", X: []float64{1, 2}, Y: []float64{10, 20}, YErr: []float64{0.5, 0.7}},
+			{Label: "no errs", X: []float64{5}, Y: []float64{50}},
+		},
+	}
+	dir := t.TempDir()
+	paths, err := WriteCSV(rep, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("wrote %d files, want 3: %v", len(paths), paths)
+	}
+
+	// Table file round-trips.
+	f, err := os.Open(filepath.Join(dir, "demo_table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[0][0] != "a" || records[2][1] != "4" {
+		t.Errorf("table csv = %v", records)
+	}
+
+	// Series file with error bars.
+	sf, err := os.Open(filepath.Join(dir, "demo_strong-redundancy.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	srec, err := csv.NewReader(sf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srec) != 3 || srec[1][0] != "1" || srec[1][1] != "10" || srec[1][2] != "0.5" {
+		t.Errorf("series csv = %v", srec)
+	}
+
+	// Series without error bars leaves the column empty.
+	nf, err := os.Open(filepath.Join(dir, "demo_no-errs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	nrec, err := csv.NewReader(nf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrec[1][2] != "" {
+		t.Errorf("yerr should be empty, got %q", nrec[1][2])
+	}
+}
+
+func TestWriteCSVFromRealExperiment(t *testing.T) {
+	rep, err := Run("table2", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := WriteCSV(rep, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Strong, Redundancy":    "strong-redundancy",
+		"Avg Outdeg=3.1":        "avg-outdeg-3-1",
+		"reach=500":             "reach-500",
+		"  weird   spacing  !!": "weird-spacing",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCSVBadDir(t *testing.T) {
+	rep := &Report{ID: "x", Tables: []Table{{Columns: []string{"a"}, Rows: nil}}}
+	if _, err := WriteCSV(rep, filepath.Join(string([]byte{0}), "nope")); err == nil {
+		t.Error("invalid dir accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spnet/internal/analysis"
+	"spnet/internal/network"
+	"spnet/internal/stats"
+)
+
+// outdegreeHistogram evaluates a power-law system and buckets a per-cluster
+// value by super-peer outdegree, as Figures 7 and 8 do. Vertical bars in the
+// paper's histograms are one standard deviation.
+func outdegreeHistogram(p Params, avgOutdeg float64, ttl int, label string,
+	value func(*analysis.Result, int) float64) (Series, error) {
+	cfg := network.Config{
+		GraphType:    network.PowerLaw,
+		GraphSize:    p.scaled(10000, 400),
+		ClusterSize:  20,
+		AvgOutdegree: avgOutdeg,
+		TTL:          ttl,
+	}
+	trials := p.trials(3)
+	var keys []int
+	var vals []float64
+	root := stats.NewRNG(p.Seed + uint64(avgOutdeg*10) + uint64(ttl))
+	for t := 0; t < trials; t++ {
+		inst, err := network.Generate(cfg, nil, root.Split(uint64(t)))
+		if err != nil {
+			return Series{}, err
+		}
+		res := analysis.Evaluate(inst)
+		for v := range inst.Clusters {
+			keys = append(keys, inst.Graph.Degree(v))
+			vals = append(vals, value(res, v))
+		}
+	}
+	buckets := stats.GroupByKey(keys, vals)
+	if label == "" {
+		label = fmt.Sprintf("Avg Outdeg=%.1f", avgOutdeg)
+	}
+	s := Series{Label: label}
+	for _, b := range buckets {
+		if b.N < 3 {
+			continue // drop the extreme-degree tail with too few samples
+		}
+		s.X = append(s.X, float64(b.Key))
+		s.Y = append(s.Y, b.Mean)
+		s.YErr = append(s.YErr, b.StdDev)
+	}
+	return s, nil
+}
+
+// runFig7 reproduces Figure 7: histogram of individual super-peer outgoing
+// bandwidth as a function of outdegree, for average outdegrees 3.1 and 10.
+// Expected shape: in the 3.1 topology load climbs steeply with outdegree and
+// its high-degree nodes carry extreme load; in the 10 topology all loads sit
+// in a moderate band.
+func runFig7(p Params) (*Report, error) {
+	var series []Series
+	for _, d := range []float64{3.1, 10} {
+		s, err := outdegreeHistogram(p, d, 7, "", func(r *analysis.Result, v int) float64 {
+			return r.SuperPeerLoad(v).OutBps
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	return &Report{
+		Notes: []string{
+			"individual super-peer outgoing bandwidth (bps) by outdegree; bars are one standard deviation",
+			"cluster size 20, TTL 7",
+		},
+		Series: series,
+	}, nil
+}
+
+// runFig8 reproduces Figure 8: histogram of expected results per query by
+// source outdegree. Expected shape: low-degree nodes of the 3.1 topology
+// receive far fewer results; the 10 topology delivers full results to all.
+func runFig8(p Params) (*Report, error) {
+	var series []Series
+	for _, d := range []float64{3.1, 10} {
+		s, err := outdegreeHistogram(p, d, 7, "", func(r *analysis.Result, v int) float64 {
+			return r.SourceResults(v)
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	// Our PLOD implementation repairs connectivity, so at TTL 7 even
+	// degree-1 sources reach the whole overlay and the paper's low-degree
+	// result deficit does not appear at the original parameters. The
+	// labeled illustrative series lowers the TTL to re-expose the gradient
+	// the paper measured on its (less connected) crawl-calibrated graphs.
+	ill, err := outdegreeHistogram(p, 3.1, 4, "Avg Outdeg=3.1, TTL=4 (illustrative)",
+		func(r *analysis.Result, v int) float64 {
+			return r.SourceResults(v)
+		})
+	if err != nil {
+		return nil, err
+	}
+	series = append(series, ill)
+	return &Report{
+		Notes: []string{
+			"expected number of results by source outdegree; bars are one standard deviation",
+			"cluster size 20, TTL 7 (plus an illustrative TTL-4 series, see below)",
+			"divergence note: with connectivity-repaired topologies, TTL 7 reaches everything from any source, so the paper's low-degree result deficit only shows at lower TTL",
+		},
+		Series: series,
+	}, nil
+}
+
+// runTableD2 reproduces Appendix D Table 2: aggregate load for average
+// outdegrees 3.1 and 10 at cluster size 100. The paper reports >31% lower
+// bandwidth and slightly lower processing at outdegree 10.
+func runTableD2(p Params) (*Report, error) {
+	rows := make([][]string, 0, 2)
+	var loads []analysis.LoadSummary
+	graphSize := p.scaled(10000, 1000)
+	// Keep 100 clusters at any scale so both outdegrees stay meaningful.
+	clusterSize := graphSize / 100
+	if clusterSize < 2 {
+		clusterSize = 2
+	}
+	for _, d := range []float64{3.1, 10} {
+		cfg := network.Config{
+			GraphType:    network.PowerLaw,
+			GraphSize:    graphSize,
+			ClusterSize:  clusterSize,
+			AvgOutdegree: d,
+			TTL:          7,
+		}
+		sum, err := analysis.RunTrials(cfg, nil, p.trials(3), p.Seed+uint64(d))
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, sum.Aggregate)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", d),
+			fmtEng(sum.Aggregate.InBps.Mean),
+			fmtEng(sum.Aggregate.OutBps.Mean),
+			fmtEng(sum.Aggregate.ProcHz.Mean),
+		})
+	}
+	saving := 1 - loads[1].InBps.Mean/loads[0].InBps.Mean
+	return &Report{
+		Notes: []string{fmt.Sprintf("incoming-bandwidth saving from outdegree 3.1 to 10: %.0f%% (paper: >31%%)", 100*saving)},
+		Tables: []Table{{
+			Columns: []string{"Avg Outdegree", "Incoming BW (bps)", "Outgoing BW (bps)", "Processing (Hz)"},
+			Rows:    rows,
+		}},
+	}, nil
+}
+
+// runFigA15 reproduces Figure A-15, the caveat to rule #3: with TTL 2 and a
+// full-reach goal, an average outdegree of 100 performs worse than 50
+// because the EPL has plateaued while redundant queries keep growing.
+func runFigA15(p Params) (*Report, error) {
+	graphSize := p.scaled(10000, 2500)
+	var series []Series
+	for _, d := range []float64{50, 100} {
+		s := Series{Label: fmt.Sprintf("Avg Outdeg=%.1f", d)}
+		for _, cs := range []int{5, 10, 20, 50, 100} {
+			cfg := network.Config{
+				GraphType:    network.PowerLaw,
+				GraphSize:    graphSize,
+				ClusterSize:  cs,
+				AvgOutdegree: d,
+				TTL:          2,
+			}
+			if float64(cfg.NumClusters()-1) < d {
+				continue // too few clusters for this outdegree
+			}
+			sum, err := analysis.RunTrials(cfg, nil, p.trials(3), p.Seed+uint64(d)+uint64(cs))
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(cs))
+			s.Y = append(s.Y, sum.SuperPeer.OutBps.Mean)
+			s.YErr = append(s.YErr, sum.SuperPeer.OutBps.CI95)
+		}
+		series = append(series, s)
+	}
+	return &Report{
+		Notes: []string{
+			"individual super-peer outgoing bandwidth (bps) vs cluster size, TTL 2, full-reach goal",
+			"expected shape: outdegree 100 strictly worse than 50 (redundant queries; EPL plateau)",
+		},
+		Series: series,
+	}, nil
+}

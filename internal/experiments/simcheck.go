@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"spnet/internal/analysis"
+	"spnet/internal/network"
+	"spnet/internal/sim"
+	"spnet/internal/stats"
+)
+
+// runSimCheck cross-validates the two engines: the mean-value analysis
+// (Section 4's Steps 2–3) against the discrete-event, message-level
+// simulator executing the Section 3 protocol concretely. Agreement within a
+// few percent on every resource is the expected outcome.
+func runSimCheck(p Params) (*Report, error) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = p.scaled(10000, 600)
+	inst, err := network.Generate(cfg, nil, stats.NewRNG(p.Seed))
+	if err != nil {
+		return nil, err
+	}
+	expected := analysis.Evaluate(inst)
+
+	duration := 2000.0
+	if p.scale() < 0.2 {
+		duration = 3000 // smaller networks need longer runs to converge
+	}
+	measured, err := sim.Run(inst, sim.Options{
+		Duration: duration,
+		Seed:     p.Seed + 1,
+		Churn:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	agg := expected.AggregateLoad()
+	sp := expected.MeanSuperPeerLoad()
+	cl := expected.MeanClientLoad()
+	rows := [][]string{
+		cmpRow("aggregate incoming bw (bps)", agg.InBps, measured.Aggregate.InBps),
+		cmpRow("aggregate outgoing bw (bps)", agg.OutBps, measured.Aggregate.OutBps),
+		cmpRow("aggregate processing (Hz)", agg.ProcHz, measured.Aggregate.ProcHz),
+		cmpRow("mean super-peer in bw (bps)", sp.InBps, measured.MeanSuperPeer.InBps),
+		cmpRow("mean super-peer out bw (bps)", sp.OutBps, measured.MeanSuperPeer.OutBps),
+		cmpRow("mean super-peer proc (Hz)", sp.ProcHz, measured.MeanSuperPeer.ProcHz),
+		cmpRow("mean client in bw (bps)", cl.InBps, measured.MeanClient.InBps),
+		cmpRow("mean client out bw (bps)", cl.OutBps, measured.MeanClient.OutBps),
+		cmpRow("results per query", expected.ResultsPerQuery, measured.ResultsPerQuery),
+		cmpRow("expected path length", expected.EPL, measured.EPL),
+	}
+	return &Report{
+		Notes: []string{
+			fmt.Sprintf("%d peers, %d clusters; %v s of virtual time, %d queries, %d events",
+				inst.NumPeers, len(inst.Clusters), measured.Duration,
+				measured.QueriesIssued, measured.EventsExecuted),
+		},
+		Tables: []Table{{
+			Columns: []string{"Metric", "Analysis (expected)", "Simulator (measured)", "Diff"},
+			Rows:    rows,
+		}},
+	}, nil
+}
+
+func cmpRow(name string, want, got float64) []string {
+	diff := "-"
+	if want != 0 {
+		diff = fmt.Sprintf("%+.1f%%", 100*(got-want)/math.Abs(want))
+	}
+	return []string{name, fmtEng(want), fmtEng(got), diff}
+}

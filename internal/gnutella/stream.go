@@ -1,0 +1,84 @@
+package gnutella
+
+import (
+	"fmt"
+	"io"
+)
+
+// Message is any wire message: queries, query hits, joins and updates.
+type Message interface {
+	// WireSize returns the on-the-wire size including framing, as the cost
+	// model prices it.
+	WireSize() int
+}
+
+// Compile-time checks that every message satisfies Message.
+var (
+	_ Message = (*Query)(nil)
+	_ Message = (*QueryHit)(nil)
+	_ Message = (*Join)(nil)
+	_ Message = (*Update)(nil)
+)
+
+// MaxPayloadLen bounds accepted payloads, protecting readers from
+// malicious or corrupt length fields.
+const MaxPayloadLen = 1 << 22 // 4 MiB: ~55k result records
+
+// WriteMessage serializes one message to w (descriptor header + payload;
+// TCP provides the framing the cost model's fixed overhead accounts for).
+func WriteMessage(w io.Writer, m Message) error {
+	var buf []byte
+	var err error
+	switch msg := m.(type) {
+	case *Query:
+		buf = msg.Encode()
+	case *QueryHit:
+		buf, err = msg.Encode()
+		if err != nil {
+			return err
+		}
+	case *Join:
+		buf = msg.Encode()
+	case *Update:
+		buf = msg.Encode()
+	default:
+		return fmt.Errorf("%w: unsupported message type %T", ErrBadMessage, m)
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMessage reads and decodes the next message from r. It returns
+// io.EOF (or io.ErrUnexpectedEOF mid-message) when the stream ends.
+func ReadMessage(r io.Reader) (Message, error) {
+	head := make([]byte, DescriptorHeaderLen)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	h, err := decodeHeader(head)
+	if err != nil {
+		return nil, err
+	}
+	if h.PayloadLen > MaxPayloadLen {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadMessage, h.PayloadLen)
+	}
+	buf := make([]byte, DescriptorHeaderLen+int(h.PayloadLen))
+	copy(buf, head)
+	if _, err := io.ReadFull(r, buf[DescriptorHeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	switch h.Type {
+	case TypeQuery:
+		return DecodeQuery(buf)
+	case TypeQueryHit:
+		return DecodeQueryHit(buf)
+	case TypeJoin:
+		return DecodeJoin(buf)
+	case TypeUpdate:
+		return DecodeUpdate(buf)
+	}
+	return nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrBadMessage, byte(h.Type))
+}

@@ -1,0 +1,276 @@
+package gnutella
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeFormulas(t *testing.T) {
+	// The bandwidth column of the paper's Table 2.
+	if got := QuerySize(12); got != 94 {
+		t.Errorf("QuerySize(12) = %d, want 94 (the paper's average query)", got)
+	}
+	if got := QuerySize(0); got != 82 {
+		t.Errorf("QuerySize(0) = %d, want 82", got)
+	}
+	if got := ResponseSize(0, 0); got != 80 {
+		t.Errorf("ResponseSize(0,0) = %d, want 80", got)
+	}
+	if got := ResponseSize(2, 3); got != 80+2*28+3*76 {
+		t.Errorf("ResponseSize(2,3) = %d, want %d", got, 80+2*28+3*76)
+	}
+	if got := JoinSize(0); got != 80 {
+		t.Errorf("JoinSize(0) = %d, want 80", got)
+	}
+	if got := JoinSize(10); got != 80+720 {
+		t.Errorf("JoinSize(10) = %d, want 800", got)
+	}
+	if got := UpdateSize(); got != 152 {
+		t.Errorf("UpdateSize() = %d, want 152", got)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := &Query{TTL: 7, Hops: 2, MinSpeed: 56, Text: "free music"}
+	q.ID[0], q.ID[15] = 0xaa, 0xbb
+	buf := q.Encode()
+	got, err := DecodeQuery(buf)
+	if err != nil {
+		t.Fatalf("DecodeQuery: %v", err)
+	}
+	if *got != *q {
+		t.Errorf("round trip: got %+v, want %+v", got, q)
+	}
+	// Encoded size + framing must match the cost model's size formula.
+	if len(buf)+FrameOverhead != q.WireSize() {
+		t.Errorf("encoded %d + frame %d != WireSize %d", len(buf), FrameOverhead, q.WireSize())
+	}
+}
+
+func TestQueryRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(id [16]byte, ttl, hops uint8, speed uint16, text string) bool {
+		if strings.ContainsRune(text, 0) || len(text) > 200 {
+			return true // NUL-terminated wire format excludes embedded NULs
+		}
+		q := &Query{ID: GUID(id), TTL: ttl, Hops: hops, MinSpeed: speed, Text: text}
+		got, err := DecodeQuery(q.Encode())
+		return err == nil && *got == *q
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryHitRoundTrip(t *testing.T) {
+	qh := &QueryHit{
+		TTL:  5,
+		Hops: 1,
+		Responders: []ResponderRecord{
+			{IP: [4]byte{10, 0, 0, 1}, Port: 6346, Speed: 56, ResultCount: 2},
+			{IP: [4]byte{10, 0, 0, 2}, Port: 6347, Speed: 1000, ResultCount: 1},
+		},
+		Results: []ResultRecord{
+			{FileIndex: 1, FileSize: 3_000_000, AddrRef: 0, Title: "song-a.mp3"},
+			{FileIndex: 2, FileSize: 4_000_000, AddrRef: 0, Title: "song-b.mp3"},
+			{FileIndex: 9, FileSize: 5_000_000, AddrRef: 1, Title: "song-c.mp3"},
+		},
+	}
+	buf, err := qh.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeQueryHit(buf)
+	if err != nil {
+		t.Fatalf("DecodeQueryHit: %v", err)
+	}
+	if len(got.Responders) != 2 || len(got.Results) != 3 {
+		t.Fatalf("got %d responders, %d results", len(got.Responders), len(got.Results))
+	}
+	if got.Responders[1] != qh.Responders[1] {
+		t.Errorf("responder mismatch: %+v vs %+v", got.Responders[1], qh.Responders[1])
+	}
+	if got.Results[2] != qh.Results[2] {
+		t.Errorf("result mismatch: %+v vs %+v", got.Results[2], qh.Results[2])
+	}
+	if len(buf)+FrameOverhead != qh.WireSize() {
+		t.Errorf("encoded %d + frame != WireSize %d", len(buf), qh.WireSize())
+	}
+	if qh.WireSize() != ResponseSize(2, 3) {
+		t.Errorf("WireSize %d != ResponseSize %d", qh.WireSize(), ResponseSize(2, 3))
+	}
+}
+
+func TestQueryHitEmptySized(t *testing.T) {
+	qh := &QueryHit{}
+	buf, err := qh.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf)+FrameOverhead != 80 {
+		t.Errorf("empty hit wire size = %d, want 80", len(buf)+FrameOverhead)
+	}
+}
+
+func TestQueryHitTooManyResponders(t *testing.T) {
+	qh := &QueryHit{Responders: make([]ResponderRecord, 256)}
+	if _, err := qh.Encode(); err == nil {
+		t.Error("256 responders accepted")
+	}
+}
+
+func TestQueryHitRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(nAddr, nRes uint8, seed uint32) bool {
+		qh := &QueryHit{
+			Responders: make([]ResponderRecord, int(nAddr)%20),
+			Results:    make([]ResultRecord, int(nRes)%20),
+		}
+		for i := range qh.Responders {
+			qh.Responders[i].Port = uint16(seed) + uint16(i)
+		}
+		for i := range qh.Results {
+			qh.Results[i].FileIndex = seed + uint32(i)
+			qh.Results[i].Title = "t"
+		}
+		buf, err := qh.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeQueryHit(buf)
+		if err != nil {
+			return false
+		}
+		return len(got.Responders) == len(qh.Responders) &&
+			len(got.Results) == len(qh.Results) &&
+			got.WireSize() == qh.WireSize()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	j := &Join{Files: []MetadataRecord{
+		{FileIndex: 1, FileSize: 100, Title: "a"},
+		{FileIndex: 2, FileSize: 200, Title: "b"},
+	}}
+	buf := j.Encode()
+	got, err := DecodeJoin(buf)
+	if err != nil {
+		t.Fatalf("DecodeJoin: %v", err)
+	}
+	if len(got.Files) != 2 || got.Files[0] != j.Files[0] || got.Files[1] != j.Files[1] {
+		t.Errorf("round trip mismatch: %+v", got.Files)
+	}
+	if len(buf)+FrameOverhead != JoinSize(2) {
+		t.Errorf("join wire size = %d, want %d", len(buf)+FrameOverhead, JoinSize(2))
+	}
+}
+
+func TestJoinEmptyCollection(t *testing.T) {
+	j := &Join{} // free rider with zero files still joins
+	got, err := DecodeJoin(j.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Files) != 0 {
+		t.Errorf("got %d files", len(got.Files))
+	}
+	if j.WireSize() != 80 {
+		t.Errorf("WireSize = %d, want 80", j.WireSize())
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	for _, op := range []UpdateOp{OpInsert, OpDelete, OpModify} {
+		u := &Update{Op: op, File: MetadataRecord{FileIndex: 7, FileSize: 9, Title: "x.mp3"}}
+		buf := u.Encode()
+		got, err := DecodeUpdate(buf)
+		if err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if got.Op != op || got.File != u.File {
+			t.Errorf("op %d round trip: %+v", op, got)
+		}
+		if len(buf)+FrameOverhead != 152 {
+			t.Errorf("update wire size = %d, want 152", len(buf)+FrameOverhead)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongType(t *testing.T) {
+	q := (&Query{Text: "x"}).Encode()
+	if _, err := DecodeJoin(q); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("DecodeJoin(query) err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodeQueryHit(q); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("DecodeQueryHit(query) err = %v, want ErrBadMessage", err)
+	}
+	j := (&Join{}).Encode()
+	if _, err := DecodeQuery(j); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("DecodeQuery(join) err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodeUpdate(j); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("DecodeUpdate(join) err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	q := (&Query{Text: "hello"}).Encode()
+	for _, n := range []int{0, 10, 22, len(q) - 1} {
+		if _, err := DecodeQuery(q[:n]); err == nil {
+			t.Errorf("truncated to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptPayloadLen(t *testing.T) {
+	q := (&Query{Text: "hello"}).Encode()
+	q[19] = 0xff // corrupt payload length
+	if _, err := DecodeQuery(q); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("corrupt payload length: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsBadResponderCount(t *testing.T) {
+	qh := &QueryHit{Results: make([]ResultRecord, 1)}
+	buf, err := qh.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[23] = 200 // claim 200 responders that are not present
+	if _, err := DecodeQueryHit(buf); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("bad responder count: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsBadUpdateOp(t *testing.T) {
+	u := &Update{Op: OpInsert}
+	buf := u.Encode()
+	buf[23] = 99
+	if _, err := DecodeUpdate(buf); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("bad op: err = %v", err)
+	}
+}
+
+func TestTitleTruncation(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	u := &Update{Op: OpInsert, File: MetadataRecord{Title: long}}
+	got, err := DecodeUpdate(u.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.File.Title) != metadataTitleLen {
+		t.Errorf("title length %d, want %d", len(got.File.Title), metadataTitleLen)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for typ, want := range map[MsgType]string{
+		TypeQuery: "Query", TypeQueryHit: "QueryHit",
+		TypeJoin: "Join", TypeUpdate: "Update", MsgType(0x42): "MsgType(0x42)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("String(%#x) = %q, want %q", byte(typ), got, want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, ix *Index, owner int, file uint32, terms ...string) {
+	t.Helper()
+	if err := ix.Add(DocID{Owner: owner, File: file}, terms); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+}
+
+func TestAddAndSearch(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "free", "jazz", "mp3")
+	mustAdd(t, ix, 1, 2, "free", "rock")
+	mustAdd(t, ix, 2, 7, "jazz", "live")
+
+	if got := ix.NumDocs(); got != 3 {
+		t.Errorf("NumDocs = %d, want 3", got)
+	}
+	if got := ix.Search([]string{"free"}); len(got) != 2 {
+		t.Errorf("free: %d matches, want 2", len(got))
+	}
+	got := ix.Search([]string{"jazz"})
+	if len(got) != 2 || got[0].Doc != (DocID{1, 1}) || got[1].Doc != (DocID{2, 7}) {
+		t.Errorf("jazz matches = %+v", got)
+	}
+	// Conjunction.
+	if got := ix.Search([]string{"free", "jazz"}); len(got) != 1 || got[0].Doc != (DocID{1, 1}) {
+		t.Errorf("free+jazz = %+v", got)
+	}
+	if got := ix.Search([]string{"free", "live"}); len(got) != 0 {
+		t.Errorf("free+live = %+v, want none", got)
+	}
+	if got := ix.Search([]string{"missing"}); got != nil {
+		t.Errorf("missing term matched %+v", got)
+	}
+	if got := ix.Search(nil); got != nil {
+		t.Errorf("empty query matched %+v", got)
+	}
+}
+
+func TestCountMatchesAgreesWithSearch(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "a", "b")
+	mustAdd(t, ix, 1, 2, "a")
+	mustAdd(t, ix, 2, 1, "a", "b")
+	mustAdd(t, ix, 3, 9, "b")
+
+	for _, q := range [][]string{{"a"}, {"b"}, {"a", "b"}, {"c"}, {}} {
+		matches := ix.Search(q)
+		owners := map[int]bool{}
+		for _, m := range matches {
+			owners[m.Doc.Owner] = true
+		}
+		n, k := ix.CountMatches(q)
+		if n != len(matches) || k != len(owners) {
+			t.Errorf("query %v: CountMatches = (%d, %d), Search gives (%d, %d)",
+				q, n, k, len(matches), len(owners))
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "x", "y")
+	mustAdd(t, ix, 1, 2, "x")
+	ix.Remove(DocID{1, 1})
+	if got := ix.Search([]string{"y"}); len(got) != 0 {
+		t.Errorf("y still matches after removal: %+v", got)
+	}
+	if got := ix.Search([]string{"x"}); len(got) != 1 {
+		t.Errorf("x matches = %d, want 1", len(got))
+	}
+	ix.Remove(DocID{1, 1}) // idempotent
+	if ix.NumDocs() != 1 {
+		t.Errorf("NumDocs = %d, want 1", ix.NumDocs())
+	}
+	// Postings for y must be fully gone.
+	if ix.NumTerms() != 1 {
+		t.Errorf("NumTerms = %d, want 1", ix.NumTerms())
+	}
+}
+
+func TestRemoveOwner(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "a")
+	mustAdd(t, ix, 1, 2, "b")
+	mustAdd(t, ix, 2, 1, "a")
+	if n := ix.RemoveOwner(1); n != 2 {
+		t.Errorf("RemoveOwner(1) = %d, want 2", n)
+	}
+	if ix.NumDocs() != 1 || ix.OwnerDocs(1) != 0 || ix.OwnerDocs(2) != 1 {
+		t.Errorf("post-leave state: docs=%d", ix.NumDocs())
+	}
+	if got := ix.Search([]string{"b"}); len(got) != 0 {
+		t.Errorf("departed client's files still match: %+v", got)
+	}
+	if n := ix.RemoveOwner(99); n != 0 {
+		t.Errorf("RemoveOwner(absent) = %d", n)
+	}
+}
+
+func TestReAddReplaces(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "old", "title")
+	mustAdd(t, ix, 1, 1, "new", "title") // modify update
+	if got := ix.Search([]string{"old"}); len(got) != 0 {
+		t.Error("old terms still indexed after modify")
+	}
+	if got := ix.Search([]string{"new"}); len(got) != 1 {
+		t.Error("new terms not indexed")
+	}
+	if ix.NumDocs() != 1 {
+		t.Errorf("NumDocs = %d, want 1", ix.NumDocs())
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	ix := New()
+	if err := ix.Add(DocID{Owner: -1, File: 1}, []string{"a"}); err == nil {
+		t.Error("negative owner accepted")
+	}
+	if err := ix.Add(DocID{Owner: 1, File: 1}, []string{"a", ""}); err == nil {
+		t.Error("empty term accepted")
+	}
+	// Empty term list removes.
+	mustAdd(t, ix, 1, 1, "a")
+	if err := ix.Add(DocID{1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 0 {
+		t.Error("empty-terms add did not remove")
+	}
+}
+
+func TestDuplicateTermsInTitle(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "la", "la", "land")
+	got := ix.Search([]string{"la"})
+	if len(got) != 1 {
+		t.Fatalf("duplicate title term produced %d matches", len(got))
+	}
+	ix.Remove(DocID{1, 1})
+	if ix.NumTerms() != 0 || ix.NumDocs() != 0 {
+		t.Error("removal left residue after duplicate terms")
+	}
+}
+
+func TestSearchDeterministicOrder(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 3, 1, "t")
+	mustAdd(t, ix, 1, 2, "t")
+	mustAdd(t, ix, 1, 1, "t")
+	mustAdd(t, ix, 2, 5, "t")
+	got := ix.Search([]string{"t"})
+	want := []DocID{{1, 1}, {1, 2}, {2, 5}, {3, 1}}
+	for i, m := range got {
+		if m.Doc != want[i] {
+			t.Fatalf("order: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestIndexPropertyInvariants: random add/remove sequences keep a reference
+// model and the index in agreement.
+func TestIndexPropertyInvariants(t *testing.T) {
+	type op struct {
+		Add   bool
+		Owner uint8
+		File  uint8
+		T1    uint8
+		T2    uint8
+	}
+	if err := quick.Check(func(ops []op) bool {
+		ix := New()
+		ref := make(map[DocID][]string) // reference model
+		for _, o := range ops {
+			doc := DocID{Owner: int(o.Owner % 8), File: uint32(o.File % 16)}
+			if o.Add {
+				terms := []string{fmt.Sprintf("t%d", o.T1%6), fmt.Sprintf("t%d", o.T2%6)}
+				if err := ix.Add(doc, terms); err != nil {
+					return false
+				}
+				if terms[0] == terms[1] {
+					terms = terms[:1]
+				}
+				ref[doc] = terms
+			} else {
+				ix.Remove(doc)
+				delete(ref, doc)
+			}
+		}
+		if ix.NumDocs() != len(ref) {
+			return false
+		}
+		// Every query over the term universe agrees with the model.
+		for q := 0; q < 6; q++ {
+			term := fmt.Sprintf("t%d", q)
+			var want []DocID
+			for doc, terms := range ref {
+				for _, t := range terms {
+					if t == term {
+						want = append(want, doc)
+					}
+				}
+			}
+			got := ix.Search([]string{term})
+			if len(got) != len(want) {
+				return false
+			}
+			gotSet := make(map[DocID]bool, len(got))
+			for _, m := range got {
+				gotSet[m.Doc] = true
+			}
+			for _, d := range want {
+				if !gotSet[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchTermsExposed(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "a", "b")
+	got := ix.Search([]string{"a"})
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Terms, []string{"a", "b"}) {
+		t.Errorf("match terms = %+v", got)
+	}
+}

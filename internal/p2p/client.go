@@ -1,0 +1,201 @@
+package p2p
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"spnet/internal/gnutella"
+)
+
+// Search floods a query from this node itself (super-peers are users too)
+// and collects Response messages for the given window. Local matches are
+// included.
+func (n *Node) Search(query string, window time.Duration) ([]SearchResult, error) {
+	id, err := newGUID()
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *gnutella.QueryHit, 64)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errClosed
+	}
+	n.routes[id] = &routeEntry{owner: -1, local: ch, at: time.Now()}
+	localHit := n.searchLocked(id, query)
+	peers := n.peerListLocked(nil)
+	ttl := uint8(n.opts.TTL)
+	n.mu.Unlock()
+
+	defer func() {
+		n.mu.Lock()
+		delete(n.routes, id)
+		n.mu.Unlock()
+	}()
+
+	n.flood(&gnutella.Query{ID: id, TTL: ttl, Text: query}, peers)
+
+	var out []SearchResult
+	if localHit != nil {
+		out = append(out, hitResults(localHit)...)
+	}
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+	for {
+		select {
+		case hit := <-ch:
+			out = append(out, hitResults(hit)...)
+		case <-deadline.C:
+			return out, nil
+		case <-n.stop:
+			return out, errClosed
+		}
+	}
+}
+
+// SearchResult is one matching file, with the owning client's address.
+type SearchResult struct {
+	Title     string
+	FileIndex uint32
+	OwnerGUID gnutella.GUID
+	OwnerIP   [4]byte
+	OwnerPort uint16
+	Hops      int
+}
+
+func hitResults(h *gnutella.QueryHit) []SearchResult {
+	out := make([]SearchResult, 0, len(h.Results))
+	for _, r := range h.Results {
+		sr := SearchResult{
+			Title:     r.Title,
+			FileIndex: r.FileIndex,
+			Hops:      int(h.Hops),
+		}
+		if int(r.AddrRef) < len(h.Responders) {
+			resp := h.Responders[r.AddrRef]
+			sr.OwnerGUID = resp.ClientGUID
+			sr.OwnerIP = resp.IP
+			sr.OwnerPort = resp.Port
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// SharedFile is one file a client shares.
+type SharedFile struct {
+	Index uint32
+	Size  uint32
+	Title string
+}
+
+// Client is a client-role connection to a super-peer.
+type Client struct {
+	c    net.Conn
+	br   *bufio.Reader
+	guid gnutella.GUID
+}
+
+// DialClient connects to a super-peer, performs the handshake, and joins
+// with the given collection (the metadata shipment of Section 3.2).
+func DialClient(addr string, files []SharedFile) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: dialing super-peer %s: %w", addr, err)
+	}
+	if _, err := fmt.Fprintf(c, "%s\n", helloClient); err != nil {
+		c.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("p2p: handshake with %s: %w", addr, err)
+	}
+	c.SetReadDeadline(time.Time{})
+	if strings.TrimSpace(line) != helloOK {
+		c.Close()
+		return nil, fmt.Errorf("p2p: super-peer %s refused: %s", addr, strings.TrimSpace(line))
+	}
+	guid, err := newGUID()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	cl := &Client{c: c, br: br, guid: guid}
+	if err := cl.join(files); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// join ships the collection metadata.
+func (cl *Client) join(files []SharedFile) error {
+	j := &gnutella.Join{ID: cl.guid}
+	for _, f := range files {
+		j.Files = append(j.Files, gnutella.MetadataRecord{
+			FileIndex: f.Index, FileSize: f.Size, Title: f.Title,
+		})
+	}
+	return gnutella.WriteMessage(cl.c, j)
+}
+
+// Rejoin replaces the client's collection at the super-peer.
+func (cl *Client) Rejoin(files []SharedFile) error { return cl.join(files) }
+
+// Update notifies the super-peer of a single collection change.
+func (cl *Client) Update(op gnutella.UpdateOp, f SharedFile) error {
+	return gnutella.WriteMessage(cl.c, &gnutella.Update{
+		ID: cl.guid,
+		Op: op,
+		File: gnutella.MetadataRecord{
+			FileIndex: f.Index, FileSize: f.Size, Title: f.Title,
+		},
+	})
+}
+
+// Search submits a keyword query to the super-peer and collects results for
+// the given window. "Clients submit queries to their super-peer and receive
+// results from it" (Section 1).
+func (cl *Client) Search(query string, window time.Duration) ([]SearchResult, error) {
+	id, err := newGUID()
+	if err != nil {
+		return nil, err
+	}
+	if err := gnutella.WriteMessage(cl.c, &gnutella.Query{ID: id, TTL: 1, Text: query}); err != nil {
+		return nil, err
+	}
+	var out []SearchResult
+	deadline := time.Now().Add(window)
+	for {
+		if err := cl.c.SetReadDeadline(deadline); err != nil {
+			return out, err
+		}
+		msg, err := gnutella.ReadMessage(cl.br)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				cl.c.SetReadDeadline(time.Time{})
+				return out, nil // window elapsed: results are complete
+			}
+			return out, err
+		}
+		hit, ok := msg.(*gnutella.QueryHit)
+		if !ok {
+			continue // tolerate unexpected traffic
+		}
+		if hit.ID == id {
+			out = append(out, hitResults(hit)...)
+		}
+	}
+}
+
+// Close disconnects from the super-peer; the super-peer drops the client's
+// metadata from its index.
+func (cl *Client) Close() error { return cl.c.Close() }

@@ -1,0 +1,319 @@
+package p2p
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"spnet/internal/gnutella"
+	"spnet/internal/index"
+)
+
+// conn is one TCP link — to a client or to a neighbor super-peer. A mutex
+// serializes writes; each conn has one reader goroutine.
+type conn struct {
+	node     *Node
+	c        net.Conn
+	br       *bufio.Reader
+	wmu      sync.Mutex
+	isClient bool
+	owner    int // client owner id; -1 for peers
+}
+
+func newConn(n *Node, c net.Conn, br *bufio.Reader, isClient bool) *conn {
+	return &conn{node: n, c: c, br: br, isClient: isClient, owner: -1}
+}
+
+// send writes one message, serialized against concurrent senders.
+func (c *conn) send(m gnutella.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	return gnutella.WriteMessage(c.c, m)
+}
+
+// runClient serves a client connection: the first message must be a Join;
+// afterwards the client may query, update, or re-join.
+func (n *Node) runClient(c *conn) {
+	defer n.dropClient(c)
+	for {
+		msg, err := gnutella.ReadMessage(c.br)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *gnutella.Join:
+			n.handleClientJoin(c, m)
+		case *gnutella.Query:
+			if c.owner < 0 {
+				n.opts.Logf("p2p: query before join from %s", c.c.RemoteAddr())
+				return
+			}
+			n.handleClientQuery(c, m)
+		case *gnutella.Update:
+			if c.owner < 0 {
+				n.opts.Logf("p2p: update before join from %s", c.c.RemoteAddr())
+				return
+			}
+			n.handleClientUpdate(c, m)
+		default:
+			n.opts.Logf("p2p: unexpected %T from client %s", m, c.c.RemoteAddr())
+			return
+		}
+	}
+}
+
+// handleClientJoin registers (or replaces) the client's collection: the
+// super-peer "will add this metadata to its index" (Section 3.2).
+func (n *Node) handleClientJoin(c *conn, j *gnutella.Join) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c.owner < 0 {
+		c.owner = n.nextOwn
+		n.nextOwn++
+		n.clients[c.owner] = c
+	} else {
+		n.index.RemoveOwner(c.owner)
+	}
+	n.guids[c.owner] = j.ID
+	for _, f := range j.Files {
+		terms := titleTerms(f.Title)
+		if len(terms) == 0 {
+			continue
+		}
+		// Owner ids are non-negative by construction, so Add cannot fail.
+		n.index.Add(index.DocID{Owner: c.owner, File: f.FileIndex}, terms)
+	}
+}
+
+// dropClient removes a departed client's metadata ("when a client leaves,
+// its super-peer will remove its metadata from the index").
+func (n *Node) dropClient(c *conn) {
+	c.c.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c.owner >= 0 {
+		n.index.RemoveOwner(c.owner)
+		delete(n.clients, c.owner)
+		delete(n.guids, c.owner)
+	}
+}
+
+// handleClientQuery services a client's query: answer from the local index,
+// then flood to the overlay on the client's behalf ("the super-peer will
+// then submit the query to its neighbors as if it were its own").
+func (n *Node) handleClientQuery(c *conn, q *gnutella.Query) {
+	n.mu.Lock()
+	if _, dup := n.routes[q.ID]; dup {
+		n.mu.Unlock()
+		return
+	}
+	n.routes[q.ID] = &routeEntry{owner: c.owner, at: time.Now()}
+	hit := n.searchLocked(q.ID, q.Text)
+	peers := n.peerListLocked(nil)
+	ttl := uint8(n.opts.TTL)
+	n.mu.Unlock()
+
+	if hit != nil {
+		if err := c.send(hit); err != nil {
+			n.opts.Logf("p2p: responding to client: %v", err)
+		}
+	}
+	n.flood(&gnutella.Query{ID: q.ID, TTL: ttl, MinSpeed: q.MinSpeed, Text: q.Text}, peers)
+}
+
+// handleClientUpdate applies a single-item collection change.
+func (n *Node) handleClientUpdate(c *conn, u *gnutella.Update) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	doc := index.DocID{Owner: c.owner, File: u.File.FileIndex}
+	switch u.Op {
+	case gnutella.OpDelete:
+		n.index.Remove(doc)
+	case gnutella.OpInsert, gnutella.OpModify:
+		if terms := titleTerms(u.File.Title); len(terms) > 0 {
+			n.index.Add(doc, terms)
+		}
+	}
+}
+
+// runPeer serves an overlay link to another super-peer.
+func (n *Node) runPeer(c *conn) {
+	n.mu.Lock()
+	n.peers[c] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		c.c.Close()
+		n.mu.Lock()
+		delete(n.peers, c)
+		n.mu.Unlock()
+	}()
+	for {
+		msg, err := gnutella.ReadMessage(c.br)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *gnutella.Query:
+			n.handlePeerQuery(c, m)
+		case *gnutella.QueryHit:
+			n.handleQueryHit(m)
+		default:
+			n.opts.Logf("p2p: unexpected %T from peer %s", m, c.c.RemoteAddr())
+			return
+		}
+	}
+}
+
+// handlePeerQuery is the receiver side of query flooding: duplicate drop,
+// local processing, response over the arrival link, and forwarding with a
+// decremented TTL to every other neighbor.
+func (n *Node) handlePeerQuery(c *conn, q *gnutella.Query) {
+	n.mu.Lock()
+	if _, dup := n.routes[q.ID]; dup {
+		n.mu.Unlock()
+		return // redundant copy: received, then dropped
+	}
+	n.routes[q.ID] = &routeEntry{via: c, owner: -1, at: time.Now()}
+	hit := n.searchLocked(q.ID, q.Text)
+	var peers []*conn
+	if q.TTL > 1 {
+		peers = n.peerListLocked(c)
+	}
+	n.mu.Unlock()
+
+	if hit != nil {
+		hit.Hops = q.Hops
+		if err := c.send(hit); err != nil {
+			n.opts.Logf("p2p: responding to peer: %v", err)
+		}
+	}
+	if len(peers) > 0 {
+		n.flood(&gnutella.Query{
+			ID: q.ID, TTL: q.TTL - 1, Hops: q.Hops + 1,
+			MinSpeed: q.MinSpeed, Text: q.Text,
+		}, peers)
+	}
+}
+
+// handleQueryHit routes a Response along the reverse path: to the peer the
+// query came from, to the local client that originated it, or to a local
+// search waiter.
+func (n *Node) handleQueryHit(h *gnutella.QueryHit) {
+	n.mu.Lock()
+	rt, ok := n.routes[h.ID]
+	var target *conn
+	var local chan *gnutella.QueryHit
+	if ok {
+		switch {
+		case rt.local != nil:
+			local = rt.local
+		case rt.owner >= 0:
+			target = n.clients[rt.owner]
+		default:
+			target = rt.via
+		}
+	}
+	n.mu.Unlock()
+	if local != nil {
+		select {
+		case local <- h:
+		default: // waiter gone or saturated; drop
+		}
+		return
+	}
+	if target == nil {
+		return // route expired
+	}
+	fwd := *h
+	fwd.Hops++
+	if err := target.send(&fwd); err != nil {
+		n.opts.Logf("p2p: relaying hit: %v", err)
+	}
+}
+
+// flood sends a query to the given peers (computed under lock beforehand).
+func (n *Node) flood(q *gnutella.Query, peers []*conn) {
+	for _, p := range peers {
+		if err := p.send(q); err != nil {
+			n.opts.Logf("p2p: flooding: %v", err)
+		}
+	}
+}
+
+// peerListLocked snapshots the peer set, excluding one link.
+func (n *Node) peerListLocked(except *conn) []*conn {
+	out := make([]*conn, 0, len(n.peers))
+	for p := range n.peers {
+		if p != except {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// searchLocked answers a keyword query over the index and builds the
+// QueryHit: results plus "the address of each client whose collection
+// produced a result". Returns nil when nothing matches. Callers hold n.mu.
+func (n *Node) searchLocked(id gnutella.GUID, text string) *gnutella.QueryHit {
+	terms := titleTerms(text)
+	if len(terms) == 0 {
+		return nil
+	}
+	matches := n.index.Search(terms)
+	if len(matches) == 0 {
+		return nil
+	}
+	hit := &gnutella.QueryHit{ID: id, TTL: uint8(n.opts.TTL)}
+	addrByOwner := make(map[int]uint16)
+	for _, m := range matches {
+		ref, ok := addrByOwner[m.Doc.Owner]
+		if !ok {
+			if len(hit.Responders) >= 255 {
+				break // wire limit; deterministic truncation
+			}
+			ref = uint16(len(hit.Responders))
+			addrByOwner[m.Doc.Owner] = ref
+			rec := gnutella.ResponderRecord{ClientGUID: n.guids[m.Doc.Owner]}
+			if cl := n.clients[m.Doc.Owner]; cl != nil {
+				rec.IP, rec.Port = splitAddr(cl.c.RemoteAddr())
+			}
+			hit.Responders = append(hit.Responders, rec)
+		}
+		hit.Responders[ref].ResultCount++
+		hit.Results = append(hit.Results, gnutella.ResultRecord{
+			FileIndex: m.Doc.File,
+			AddrRef:   ref,
+			Title:     strings.Join(m.Terms, " "),
+		})
+	}
+	return hit
+}
+
+// titleTerms tokenizes a title or query string into lower-case terms.
+func titleTerms(s string) []string {
+	fields := strings.Fields(strings.ToLower(s))
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// splitAddr extracts IPv4 and port from a TCP address; zero values for
+// anything else.
+func splitAddr(a net.Addr) ([4]byte, uint16) {
+	var ip [4]byte
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		return ip, 0
+	}
+	if v4 := tcp.IP.To4(); v4 != nil {
+		copy(ip[:], v4)
+	}
+	return ip, uint16(tcp.Port)
+}

@@ -1,0 +1,325 @@
+// Package p2p is a working super-peer node over TCP: the system the paper
+// models, runnable. A Node acts "as a server to a set of clients, and as an
+// equal in a network of super-peers" (Section 1): clients connect, ship
+// their collection metadata (Join), and submit keyword queries; the node
+// answers from an inverted index over its clients' titles and floods the
+// query over its peer links with a TTL, Gnutella-style, relaying Response
+// messages back along the reverse path.
+//
+// The wire format is internal/gnutella's — the same byte layout the paper's
+// cost model prices — and the index is internal/index's inverted lists.
+// Every connection is served by its own goroutine.
+package p2p
+
+import (
+	"bufio"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"spnet/internal/gnutella"
+	"spnet/internal/index"
+)
+
+// Protocol handshake lines.
+const (
+	helloClient = "SPNET/1.0 CLIENT"
+	helloPeer   = "SPNET/1.0 PEER"
+	helloOK     = "SPNET/1.0 OK"
+	helloBusy   = "SPNET/1.0 BUSY"
+)
+
+// Options configure a Node. The zero value is usable.
+type Options struct {
+	// TTL stamped on queries this node originates or accepts from clients
+	// (default 7, the Table 1 default).
+	TTL int
+	// MaxClients bounds the cluster size (default 100).
+	MaxClients int
+	// MaxPeers bounds the overlay outdegree (default 30).
+	MaxPeers int
+	// RouteTTL is how long reverse-path routing state is kept
+	// (default 60s).
+	RouteTTL time.Duration
+	// Logf, when set, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.TTL <= 0 {
+		o.TTL = 7
+	}
+	if o.MaxClients <= 0 {
+		o.MaxClients = 100
+	}
+	if o.MaxPeers <= 0 {
+		o.MaxPeers = 30
+	}
+	if o.RouteTTL <= 0 {
+		o.RouteTTL = 60 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// routeEntry remembers where a query GUID arrived from, for duplicate
+// detection and reverse-path response routing.
+type routeEntry struct {
+	via   *conn // nil for locally originated or client-originated queries
+	owner int   // client owner id when a local client originated it, else -1
+	local chan *gnutella.QueryHit
+	at    time.Time
+}
+
+// Node is one super-peer.
+type Node struct {
+	opts Options
+	ln   net.Listener
+
+	mu      sync.Mutex
+	index   *index.Index
+	clients map[int]*conn // owner id -> client connection
+	guids   map[int]gnutella.GUID
+	peers   map[*conn]struct{}
+	conns   map[*conn]struct{} // every live connection, for shutdown
+	routes  map[gnutella.GUID]*routeEntry
+	nextOwn int
+	closed  bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// NewNode creates a node; call Listen to start serving.
+func NewNode(opts Options) *Node {
+	opts.setDefaults()
+	return &Node{
+		opts:    opts,
+		index:   index.New(),
+		clients: make(map[int]*conn),
+		guids:   make(map[int]gnutella.GUID),
+		peers:   make(map[*conn]struct{}),
+		conns:   make(map[*conn]struct{}),
+		routes:  make(map[gnutella.GUID]*routeEntry),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting clients and
+// peers.
+func (n *Node) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: listen %s: %w", addr, err)
+	}
+	n.ln = ln
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.pruneLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	close(n.stop)
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Stats reports the node's current shape.
+type Stats struct {
+	Clients      int
+	Peers        int
+	IndexedFiles int
+}
+
+// Stats returns a snapshot of the node's state.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{
+		Clients:      len(n.clients),
+		Peers:        len(n.peers),
+		IndexedFiles: n.index.NumDocs(),
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serve(c)
+		}()
+	}
+}
+
+// serve performs the acceptor side of the handshake and runs the
+// connection's read loop.
+func (n *Node) serve(c net.Conn) {
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	hello := strings.TrimSpace(line)
+
+	switch hello {
+	case helloClient:
+		cc := newConn(n, c, br, true)
+		if !n.register(cc, true) {
+			fmt.Fprintf(c, "%s\n", helloBusy)
+			c.Close()
+			return
+		}
+		fmt.Fprintf(c, "%s\n", helloOK)
+		defer n.unregister(cc)
+		n.runClient(cc)
+	case helloPeer:
+		cc := newConn(n, c, br, false)
+		if !n.register(cc, false) {
+			fmt.Fprintf(c, "%s\n", helloBusy)
+			c.Close()
+			return
+		}
+		fmt.Fprintf(c, "%s\n", helloOK)
+		defer n.unregister(cc)
+		n.runPeer(cc)
+	default:
+		n.opts.Logf("p2p: rejecting unknown hello %q from %s", hello, c.RemoteAddr())
+		c.Close()
+	}
+}
+
+// register admits a connection into the tracked set, enforcing the role's
+// capacity limit.
+func (n *Node) register(c *conn, isClient bool) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	if isClient && len(n.clients) >= n.opts.MaxClients {
+		return false
+	}
+	if !isClient && len(n.peers) >= n.opts.MaxPeers {
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) unregister(c *conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// ConnectPeer dials another super-peer and adds it as an overlay neighbor.
+func (n *Node) ConnectPeer(addr string) error {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("p2p: dialing peer %s: %w", addr, err)
+	}
+	if _, err := fmt.Fprintf(c, "%s\n", helloPeer); err != nil {
+		c.Close()
+		return err
+	}
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("p2p: peer handshake with %s: %w", addr, err)
+	}
+	c.SetReadDeadline(time.Time{})
+	if strings.TrimSpace(line) != helloOK {
+		c.Close()
+		return fmt.Errorf("p2p: peer %s refused: %s", addr, strings.TrimSpace(line))
+	}
+	pc := newConn(n, c, br, false)
+	if !n.register(pc, false) {
+		c.Close()
+		return errClosed
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer n.unregister(pc)
+		n.runPeer(pc)
+	}()
+	return nil
+}
+
+// pruneLoop expires stale reverse-path routes.
+func (n *Node) pruneLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.RouteTTL / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case now := <-t.C:
+			cutoff := now.Add(-n.opts.RouteTTL)
+			n.mu.Lock()
+			for id, rt := range n.routes {
+				if rt.at.Before(cutoff) && rt.local == nil {
+					delete(n.routes, id)
+				}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// newGUID returns a random descriptor id.
+func newGUID() (gnutella.GUID, error) {
+	var g gnutella.GUID
+	if _, err := rand.Read(g[:]); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// errClosed reports operations on a closed node.
+var errClosed = errors.New("p2p: node closed")

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"spnet/internal/analysis"
+	"spnet/internal/network"
+)
+
+// expectedLoads bundles the analysis engine's predictions for cross-checks.
+type expectedLoads struct {
+	agg     analysis.Load
+	sp      analysis.Load
+	client  analysis.Load
+	results float64
+	epl     float64
+}
+
+func analysisEvaluate(inst *network.Instance) expectedLoads {
+	res := analysis.Evaluate(inst)
+	return expectedLoads{
+		agg:     res.AggregateLoad(),
+		sp:      res.MeanSuperPeerLoad(),
+		client:  res.MeanClientLoad(),
+		results: res.ResultsPerQuery,
+		epl:     res.EPL,
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import "spnet/internal/cost"
+
+// clientJoin charges the join interaction: the client sends its metadata to
+// each partner; each partner receives it and adds it to its index.
+func (s *Simulator) clientJoin(c *clientNode) {
+	if c.cluster.isDown() {
+		return // no partner to join until the cluster recovers
+	}
+	if s.contentMode() {
+		s.contentReindexClient(c)
+	}
+	jb, jpS := cost.SendJoin(c.files)
+	_, jpR := cost.RecvJoin(c.files)
+	jpP := cost.ProcessJoin(c.files)
+	for _, p := range c.cluster.partners {
+		c.counters.bytesOut += float64(jb)
+		c.counters.procU += float64(jpS)
+		s.pmClient(c)
+		p.counters.bytesIn += float64(jb)
+		p.counters.procU += float64(jpR) + float64(jpP)
+		s.pmPartner(p)
+	}
+}
+
+// partnerRejoin mirrors the super-peer's own collection maintenance: the
+// partner re-indexes its own files, and with redundancy also ships them to
+// its co-partner.
+func (s *Simulator) partnerRejoin(p *partnerNode) {
+	if p.cluster.isDown() {
+		return
+	}
+	p.counters.procU += float64(cost.ProcessJoin(p.files))
+	for _, co := range p.cluster.partners {
+		if co == p {
+			continue
+		}
+		jb, jpS := cost.SendJoin(p.files)
+		_, jpR := cost.RecvJoin(p.files)
+		p.counters.bytesOut += float64(jb)
+		p.counters.procU += float64(jpS)
+		s.pmPartner(p)
+		co.counters.bytesIn += float64(jb)
+		co.counters.procU += float64(jpR) + float64(cost.ProcessJoin(p.files))
+		s.pmPartner(co)
+	}
+}
+
+// clientUpdate charges one collection update: the client notifies every
+// partner, and each partner applies the change to its index.
+func (s *Simulator) clientUpdate(c *clientNode) {
+	if c.cluster.isDown() {
+		return
+	}
+	ub, upS := cost.SendUpdateCost()
+	_, upR := cost.RecvUpdateCost()
+	upP := cost.ProcessUpdateCost()
+	for _, p := range c.cluster.partners {
+		c.counters.bytesOut += float64(ub)
+		c.counters.procU += float64(upS)
+		s.pmClient(c)
+		p.counters.bytesIn += float64(ub)
+		p.counters.procU += float64(upR) + float64(upP)
+		s.pmPartner(p)
+	}
+}
+
+// partnerUpdate charges a super-peer's own collection update: applied
+// locally, and with redundancy also shipped to the co-partner.
+func (s *Simulator) partnerUpdate(p *partnerNode) {
+	if p.cluster.isDown() {
+		return
+	}
+	p.counters.procU += float64(cost.ProcessUpdateCost())
+	ub, upS := cost.SendUpdateCost()
+	_, upR := cost.RecvUpdateCost()
+	for _, co := range p.cluster.partners {
+		if co == p {
+			continue
+		}
+		p.counters.bytesOut += float64(ub)
+		p.counters.procU += float64(upS)
+		s.pmPartner(p)
+		co.counters.bytesIn += float64(ub)
+		co.counters.procU += float64(upR) + float64(cost.ProcessUpdateCost())
+		s.pmPartner(co)
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+
+	"spnet/internal/content"
+	"spnet/internal/index"
+)
+
+// ContentOptions switch the simulator from the Appendix B match-sampling
+// model to concrete content: every cluster maintains a real inverted index
+// over its peers' file titles (Section 3.2's "inverted lists over the
+// titles"), queries are keyword sets drawn from the library, and matches
+// come from actual index lookups. Join churn replaces a departed client's
+// titles in the index, exercising the maintenance path.
+//
+// Content mode is for protocol-level realism; it is not calibrated to the
+// analytic query model (use Library.BuildQueryModel to derive a matching
+// model if you want to compare). It is incompatible with the Adaptive and
+// Failures options, which re-home peers across clusters.
+type ContentOptions struct {
+	// Library generates titles and queries (nil selects the default).
+	Library *content.Library
+}
+
+// contentMode reports whether concrete-content evaluation is on.
+func (s *Simulator) contentMode() bool { return s.opts.Content != nil }
+
+// initContent builds every cluster's inverted index from freshly sampled
+// titles. Each peer receives a cluster-local owner id.
+func (s *Simulator) initContent() error {
+	if s.opts.Adaptive != nil {
+		return fmt.Errorf("sim: content mode is incompatible with adaptive mode")
+	}
+	if s.opts.Failures != nil {
+		return fmt.Errorf("sim: content mode is incompatible with failure injection")
+	}
+	if s.opts.Content.Library == nil {
+		s.opts.Content.Library = content.DefaultLibrary()
+	}
+	for _, c := range s.clusters {
+		c.index = index.New()
+		owner := 0
+		for _, p := range c.partners {
+			p.owner = owner
+			owner++
+			if err := s.indexPeerFiles(c, p.owner, p.files); err != nil {
+				return err
+			}
+		}
+		for _, cl := range c.clients {
+			cl.owner = owner
+			owner++
+			if err := s.indexPeerFiles(c, cl.owner, cl.files); err != nil {
+				return err
+			}
+		}
+		c.nextOwner = owner
+	}
+	return nil
+}
+
+// indexPeerFiles samples titles for a peer's collection and indexes them.
+func (s *Simulator) indexPeerFiles(c *clusterNode, owner, files int) error {
+	lib := s.opts.Content.Library
+	for f := 0; f < files; f++ {
+		doc := index.DocID{Owner: owner, File: uint32(f)}
+		if err := c.index.Add(doc, lib.SampleTitle(s.rng)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// contentReindexClient replaces a churned client slot's collection: the
+// departed peer's metadata leaves the index and the replacement's titles
+// enter it (same collection size, fresh content).
+func (s *Simulator) contentReindexClient(c *clientNode) {
+	cl := c.cluster
+	cl.index.RemoveOwner(c.owner)
+	// Errors cannot occur here: owner ids are non-negative and titles are
+	// library-generated.
+	if err := s.indexPeerFiles(cl, c.owner, c.files); err != nil {
+		panic(err)
+	}
+}
+
+// contentEvaluate answers a keyword query over the cluster's real index.
+func contentEvaluate(c *clusterNode, terms []string) (results, addrs int) {
+	return c.index.CountMatches(terms)
+}

@@ -1,0 +1,78 @@
+// Package sim is a deterministic discrete-event, message-level simulator of
+// a super-peer network. Where internal/analysis computes expected loads in
+// closed form (the paper's mean-value analysis), the simulator executes the
+// protocol of Section 3 concretely: clients join, update and query; queries
+// flood super-peers with a TTL and duplicate drop; Response messages travel
+// the reverse path; 2-redundant partners share load round-robin; and every
+// byte and processing unit is counted per node under the same cost model.
+// The two engines validate each other (the simcheck experiment), and the
+// simulator additionally runs the Section 5.3 local decision rules under
+// churn, which the static analysis cannot.
+package sim
+
+import "container/heap"
+
+// event is one scheduled action at a virtual time. seq breaks ties so that
+// execution order is deterministic.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a binary heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// scheduler wraps the heap with a monotonic clock.
+type scheduler struct {
+	queue eventQueue
+	now   float64
+	seq   uint64
+}
+
+// schedule enqueues fn to run after delay seconds of virtual time.
+func (s *scheduler) schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// runUntil executes events in order until the clock passes horizon or the
+// queue drains. It returns the number of events executed.
+func (s *scheduler) runUntil(horizon float64) int {
+	executed := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+		executed++
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return executed
+}

@@ -1,0 +1,120 @@
+package sim
+
+// FailureOptions inject super-peer failures, quantifying the reliability
+// argument of Section 3.2: "if one partner fails, the others may continue to
+// service clients and neighbors until a new partner can be found. The
+// probability that all partners will fail before any failed partner can be
+// replaced is much lower than the probability of a single super-peer
+// failing."
+type FailureOptions struct {
+	// MTBF is each partner's mean time between failures in seconds
+	// (exponentially distributed).
+	MTBF float64
+	// RecoveryDelay is how long it takes to find and provision a
+	// replacement partner after a failure, in seconds.
+	RecoveryDelay float64
+}
+
+// failureState tracks a cluster's outage bookkeeping.
+type failureState struct {
+	// down is true while the cluster has no live partner: clients are
+	// disconnected and overlay traffic to the cluster is lost.
+	down bool
+}
+
+// scheduleFailures installs the per-partner failure process for a cluster.
+func (s *Simulator) scheduleFailures(c *clusterNode) {
+	f := s.opts.Failures
+	if f == nil || f.MTBF <= 0 {
+		return
+	}
+	if c.failures == nil {
+		c.failures = &failureState{}
+	}
+	for _, p := range c.partners {
+		s.schedulePartnerFailure(p)
+	}
+}
+
+func (s *Simulator) schedulePartnerFailure(p *partnerNode) {
+	f := s.opts.Failures
+	s.sched.schedule(s.rng.ExpFloat64()*f.MTBF, func() {
+		if !p.alive() || p.cluster.isDown() {
+			return
+		}
+		s.failPartner(p)
+	})
+}
+
+func (c *clusterNode) isDown() bool { return c.failures != nil && c.failures.down }
+
+// failPartner takes one partner out of service. With co-partners remaining,
+// the virtual super-peer keeps serving (the redundancy payoff); otherwise the
+// whole cluster goes dark until recovery.
+func (s *Simulator) failPartner(p *partnerNode) {
+	c := p.cluster
+	s.failuresInjected++
+
+	if len(c.partners) > 1 {
+		// Remove the failed partner; the co-partners carry on.
+		for i, q := range c.partners {
+			if q == p {
+				c.partners = append(c.partners[:i], c.partners[i+1:]...)
+				break
+			}
+		}
+		s.sched.schedule(s.opts.Failures.RecoveryDelay, func() {
+			// If the whole cluster went dark in the meantime, the full
+			// recovery below restores the redundancy level instead.
+			if c.dissolved() || c.isDown() || len(c.partners) >= c.targetPartners {
+				return
+			}
+			s.replacePartner(c, p.files, p.lifespan)
+		})
+		return
+	}
+
+	// Single super-peer: the cluster is dark until a replacement arrives.
+	c.failures.down = true
+	s.sched.schedule(s.opts.Failures.RecoveryDelay, func() { s.recoverCluster(c) })
+}
+
+// replacePartner provisions a new partner: every client ships its metadata
+// to it and one surviving co-partner hands over its collection, after which
+// the partner resumes normal service (including its own failure process).
+func (s *Simulator) replacePartner(c *clusterNode, files int, lifespan float64) {
+	p := &partnerNode{cluster: c, files: files, lifespan: lifespan}
+	c.partners = append(c.partners, p)
+	for _, cl := range c.clients {
+		s.clientJoinOne(cl, p)
+	}
+	s.partnerRejoin(c.partners[0])
+	s.startPartnerProcesses(p, false)
+	s.schedulePartnerFailure(p)
+}
+
+// recoverCluster brings a dark cluster back: a statistically identical
+// replacement super-peer re-occupies the slot (stable population), the
+// cluster's redundancy level is restored with freshly provisioned partners,
+// and every client re-joins.
+func (s *Simulator) recoverCluster(c *clusterNode) {
+	if c.dissolved() {
+		return
+	}
+	c.failures.down = false
+	s.schedulePartnerFailure(c.partners[0])
+	for len(c.partners) < c.targetPartners {
+		p := &partnerNode{
+			cluster:  c,
+			files:    s.prof.Files.Sample(s.rng),
+			lifespan: s.prof.Lifespans.Sample(s.rng),
+		}
+		c.partners = append(c.partners, p)
+		s.partnerRejoin(c.partners[0])
+		s.startPartnerProcesses(p, false)
+		s.schedulePartnerFailure(p)
+	}
+	for _, cl := range c.clients {
+		s.clientJoin(cl)
+	}
+}

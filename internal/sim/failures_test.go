@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"spnet/internal/network"
+)
+
+func failureOpts(mtbf, recovery float64) *FailureOptions {
+	return &FailureOptions{MTBF: mtbf, RecoveryDelay: recovery}
+}
+
+func TestFailuresInjectQueryLoss(t *testing.T) {
+	// Non-redundant clusters with frequent failures and slow recovery lose
+	// a measurable fraction of client queries.
+	cfg := network.Config{GraphType: network.PowerLaw, GraphSize: 400,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 5}
+	inst := generate(t, cfg, lowVarProfile(), 1)
+	m, err := Run(inst, Options{
+		Duration: 2000, Seed: 2, Churn: false,
+		Failures: failureOpts(1000, 300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailuresInjected == 0 {
+		t.Fatal("no failures injected")
+	}
+	if m.ClientQueriesLost == 0 {
+		t.Error("no client queries lost despite single-partner outages")
+	}
+	// The outage fraction is roughly recovery/(MTBF+recovery) ≈ 23%; the
+	// lost-query fraction should be the same order.
+	frac := float64(m.ClientQueriesLost) / float64(m.QueriesIssued+m.ClientQueriesLost)
+	if frac < 0.05 || frac > 0.5 {
+		t.Errorf("lost-query fraction = %.2f, want ~0.2", frac)
+	}
+}
+
+func TestRedundancySurvivesFailures(t *testing.T) {
+	// Section 3.2's reliability claim, measured: with 2-redundancy and the
+	// same failure process, the co-partner keeps serving, so essentially no
+	// client query is lost.
+	base := network.Config{GraphType: network.PowerLaw, GraphSize: 400,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 5}
+	red := base
+	red.Redundancy = true
+
+	// Recovery (60 s) far below the MTBF (2000 s): the regime where the
+	// paper's "much lower probability that all partners fail before any is
+	// replaced" holds strongly.
+	run := func(cfg network.Config) *Measured {
+		inst := generate(t, cfg, lowVarProfile(), 3)
+		m, err := Run(inst, Options{
+			Duration: 4000, Seed: 4, Churn: false,
+			Failures: failureOpts(2000, 60),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain := run(base)
+	redundant := run(red)
+	if plain.ClientQueriesLost == 0 {
+		t.Fatal("baseline lost no queries; failure injection broken")
+	}
+	if redundant.FailuresInjected == 0 {
+		t.Fatal("no failures injected in the redundant run")
+	}
+	plainFrac := float64(plain.ClientQueriesLost) / float64(plain.QueriesIssued+plain.ClientQueriesLost)
+	redFrac := float64(redundant.ClientQueriesLost) / float64(redundant.QueriesIssued+redundant.ClientQueriesLost)
+	if redFrac > plainFrac/4 {
+		t.Errorf("redundant lost fraction %.3f not far below plain %.3f", redFrac, plainFrac)
+	}
+}
+
+func TestFailureRecoveryRestoresService(t *testing.T) {
+	// With fast recovery the long-run results per query approach the
+	// failure-free level.
+	cfg := network.Config{GraphType: network.PowerLaw, GraphSize: 300,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 5}
+	instA := generate(t, cfg, lowVarProfile(), 5)
+	noFail, err := Run(instA, Options{Duration: 1500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instB := generate(t, cfg, lowVarProfile(), 5)
+	fastRecovery, err := Run(instB, Options{
+		Duration: 1500, Seed: 6,
+		Failures: failureOpts(800, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(fastRecovery.ResultsPerQuery, noFail.ResultsPerQuery) > 0.15 {
+		t.Errorf("fast-recovery results %.1f too far from failure-free %.1f",
+			fastRecovery.ResultsPerQuery, noFail.ResultsPerQuery)
+	}
+}
+
+func TestFailuresDeterministic(t *testing.T) {
+	cfg := network.Config{GraphType: network.PowerLaw, GraphSize: 200,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 4, Redundancy: true}
+	opts := Options{Duration: 800, Seed: 7, Churn: true, Failures: failureOpts(500, 100)}
+	a, err := Run(generate(t, cfg, nil, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(generate(t, cfg, nil, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FailuresInjected != b.FailuresInjected || a.ClientQueriesLost != b.ClientQueriesLost ||
+		a.Aggregate != b.Aggregate {
+		t.Error("failure injection is not deterministic")
+	}
+}
+
+func TestFailuresDisabledByDefault(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = 200
+	m, err := Run(generate(t, cfg, nil, 9), Options{Duration: 200, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailuresInjected != 0 || m.ClientQueriesLost != 0 {
+		t.Errorf("failures occurred without FailureOptions: %d/%d",
+			m.FailuresInjected, m.ClientQueriesLost)
+	}
+}

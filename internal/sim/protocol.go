@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"spnet/internal/cost"
+	"spnet/internal/gnutella"
+)
+
+// queryMsg is a query in flight between two super-peer partners.
+type queryMsg struct {
+	id    uint64
+	class int      // query class sampled at the source (g distribution)
+	terms []string // keyword terms (content mode)
+	ttl   int      // remaining TTL, decremented by the receiver
+	from  *partnerNode
+}
+
+// respMsg is a Response traveling the reverse path toward the source.
+type respMsg struct {
+	id      uint64
+	addrs   int
+	results int
+	hops    int
+	from    *partnerNode
+}
+
+// pmPartner and pmClient add the packet-multiplex overhead (Appendix A)
+// for one message handled at the node's current connection count.
+func (s *Simulator) pmPartner(p *partnerNode) {
+	p.counters.procU += float64(cost.PacketMultiplex(p.cluster.partnerConns()))
+}
+
+func (s *Simulator) pmClient(c *clientNode) {
+	c.counters.procU += float64(cost.PacketMultiplex(c.cluster.clientConns()))
+}
+
+// userQueryFromClient: a client submits a query to one of its partners
+// (round-robin), who then acts as the source super-peer.
+func (s *Simulator) userQueryFromClient(c *clientNode) {
+	if len(c.cluster.partners) == 0 {
+		return
+	}
+	if c.cluster.isDown() {
+		// The super-peer failed and no partner remains: the client is
+		// temporarily disconnected and its query is lost (Section 3.2).
+		s.clientQueriesLost++
+		return
+	}
+	p := c.cluster.partners[c.rr%len(c.cluster.partners)]
+	c.rr++
+	// Client -> super-peer hop.
+	c.counters.bytesOut += s.qBytes
+	c.counters.procU += s.sendQProc
+	s.pmClient(c)
+	p.counters.bytesIn += s.qBytes
+	p.counters.procU += s.recvQProc
+	s.pmPartner(p)
+	s.sourceQuery(p, c)
+}
+
+// userQueryFromPartner: a super-peer submits its own query (super-peers are
+// users too).
+func (s *Simulator) userQueryFromPartner(p *partnerNode) {
+	if p.cluster.isDown() {
+		return
+	}
+	s.sourceQuery(p, nil)
+}
+
+// sourceQuery executes the source-side behavior at partner p: process over
+// the local index, answer the originating client if any, and flood the
+// overlay with the cluster's TTL.
+func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) {
+	s.queries++
+	id := s.nextQueryID
+	s.nextQueryID++
+	var class int
+	var terms []string
+	if s.contentMode() {
+		terms = s.opts.Content.Library.SampleQuery(s.rng)
+	} else {
+		class = s.prof.Queries.SampleClass(s.rng)
+	}
+	p.cluster.seen[id] = seenEntry{from: nil, origin: origin, at: s.sched.now}
+
+	// Process over the local index.
+	results, addrs := s.evaluateLocally(p, class, terms)
+	p.counters.procU += float64(cost.ProcessQuery(float64(results)))
+	s.resultsTotal += float64(results)
+	s.noteSourceQuery(p.cluster, results)
+	if origin != nil && results > 0 {
+		s.deliverResponseToClient(p, origin, addrs, results)
+	}
+
+	// Flood to every neighbor cluster.
+	if p.cluster.ttl < 1 {
+		return
+	}
+	msg := queryMsg{id: id, class: class, terms: terms, ttl: p.cluster.ttl, from: p}
+	p.cluster.forEachNeighbor(func(nb *clusterNode) {
+		s.sendQueryTo(p, nb, msg)
+	})
+}
+
+// sendQueryTo transmits one query copy from partner p to (one partner of)
+// neighbor cluster nb.
+func (s *Simulator) sendQueryTo(p *partnerNode, nb *clusterNode, msg queryMsg) {
+	if nb.isDown() || len(nb.partners) == 0 {
+		return // the neighbor's connections are closed; nothing is sent
+	}
+	target := nb.partners[nb.rrOut%len(nb.partners)]
+	nb.rrOut++
+	p.counters.bytesOut += s.qBytes
+	p.counters.procU += s.sendQProc
+	s.pmPartner(p)
+	m := msg
+	m.from = p
+	s.sched.schedule(s.opts.Latency, func() { s.handleQuery(target, m) })
+}
+
+// handleQuery runs the receiver side of query propagation: duplicate drop,
+// local processing, response, and forwarding with a decremented TTL.
+func (s *Simulator) handleQuery(p *partnerNode, msg queryMsg) {
+	if p.cluster.isDown() {
+		return // failed while the message was in flight
+	}
+	p.counters.bytesIn += s.qBytes
+	p.counters.procU += s.recvQProc
+	s.pmPartner(p)
+
+	if _, dup := p.cluster.seen[msg.id]; dup {
+		return // redundant copy: received, then dropped
+	}
+	p.cluster.seen[msg.id] = seenEntry{from: msg.from, at: s.sched.now}
+
+	results, addrs := s.evaluateLocally(p, msg.class, msg.terms)
+	p.counters.procU += float64(cost.ProcessQuery(float64(results)))
+	if results > 0 {
+		s.sendResponse(p, msg.from, respMsg{id: msg.id, addrs: addrs, results: results})
+	}
+
+	ttl := msg.ttl - 1
+	if ttl < 1 {
+		return
+	}
+	fwd := queryMsg{id: msg.id, class: msg.class, terms: msg.terms, ttl: ttl}
+	p.cluster.forEachNeighbor(func(nb *clusterNode) {
+		if msg.from != nil && nb == msg.from.cluster {
+			return // never back over the arrival edge
+		}
+		s.sendQueryTo(p, nb, fwd)
+	})
+}
+
+// evaluateLocally determines the number of matching files and responding
+// collections for a query over p's cluster index. In content mode the
+// cluster's real inverted index is searched; otherwise each collection is
+// binomial(x_i, f(class)), per Appendix B's match model.
+func (s *Simulator) evaluateLocally(p *partnerNode, class int, terms []string) (results, addrs int) {
+	if s.contentMode() {
+		return contentEvaluate(p.cluster, terms)
+	}
+	qm := s.prof.Queries
+	for _, partner := range p.cluster.partners {
+		if n := qm.SampleMatches(s.rng, class, partner.files); n > 0 {
+			results += n
+			addrs++
+		}
+	}
+	for _, cl := range p.cluster.clients {
+		if n := qm.SampleMatches(s.rng, class, cl.files); n > 0 {
+			results += n
+			addrs++
+		}
+	}
+	return results, addrs
+}
+
+// respCost returns the wire bytes of a concrete Response message.
+func respCost(addrs, results int) float64 {
+	return float64(gnutella.ResponseSize(addrs, results))
+}
+
+// sendResponse transmits one Response hop from p toward `to`.
+func (s *Simulator) sendResponse(p *partnerNode, to *partnerNode, msg respMsg) {
+	b := respCost(msg.addrs, msg.results)
+	p.counters.bytesOut += b
+	p.counters.procU += float64(cost.SendRespBase) +
+		cost.SendRespPerAddr*float64(msg.addrs) + cost.SendRespPerResult*float64(msg.results)
+	s.pmPartner(p)
+	m := msg
+	m.from = p
+	m.hops++
+	s.sched.schedule(s.opts.Latency, func() { s.handleResponse(to, m) })
+}
+
+// handleResponse receives one Response hop: consume it at the source
+// (forwarding to the originating client when there is one) or relay it
+// along the reverse path.
+func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
+	if p.cluster.isDown() {
+		return // failed while the message was in flight
+	}
+	b := respCost(msg.addrs, msg.results)
+	p.counters.bytesIn += b
+	p.counters.procU += float64(cost.RecvRespBase) +
+		cost.RecvRespPerAddr*float64(msg.addrs) + cost.RecvRespPerResult*float64(msg.results)
+	s.pmPartner(p)
+
+	entry, ok := p.cluster.seen[msg.id]
+	if !ok {
+		return // path expired (e.g. the query record was cleaned up)
+	}
+	if entry.from == nil {
+		// This partner sourced the query.
+		s.resultsTotal += float64(msg.results)
+		s.respMsgs++
+		s.respHops += float64(msg.hops)
+		s.noteSourceResponse(p.cluster, msg)
+		// The originating client may have been retired (promoted or moved)
+		// while its query was in flight; responses to it are then dropped.
+		if entry.origin != nil && entry.origin.alive() {
+			s.deliverResponseToClient(p, entry.origin, msg.addrs, msg.results)
+		}
+		return
+	}
+	s.sendResponse(p, entry.from, respMsg{id: msg.id, addrs: msg.addrs, results: msg.results, hops: msg.hops})
+}
+
+// deliverResponseToClient forwards one Response from the source super-peer
+// to the client that submitted the query.
+func (s *Simulator) deliverResponseToClient(p *partnerNode, c *clientNode, addrs, results int) {
+	b := respCost(addrs, results)
+	p.counters.bytesOut += b
+	p.counters.procU += float64(cost.SendRespBase) +
+		cost.SendRespPerAddr*float64(addrs) + cost.SendRespPerResult*float64(results)
+	s.pmPartner(p)
+	c.counters.bytesIn += b
+	c.counters.procU += float64(cost.RecvRespBase) +
+		cost.RecvRespPerAddr*float64(addrs) + cost.RecvRespPerResult*float64(results)
+	s.pmClient(c)
+}

@@ -1,0 +1,463 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"spnet/internal/analysis"
+	"spnet/internal/cost"
+	"spnet/internal/index"
+	"spnet/internal/network"
+	"spnet/internal/stats"
+	"spnet/internal/workload"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// Duration is the virtual time to simulate, in seconds.
+	Duration float64
+	// Latency is the per-hop message delivery delay in seconds (default 20ms).
+	// It orders events; load is latency-independent.
+	Latency float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Churn enables client-slot churn and super-peer re-index events. When
+	// a client's session ends, a statistically identical replacement joins,
+	// keeping the population stable ("when a node leaves the network,
+	// another node is joining elsewhere") while exercising the join path.
+	Churn bool
+	// Adaptive, when non-nil, runs the Section 5.3 local decision rules on
+	// every super-peer.
+	Adaptive *AdaptiveOptions
+	// Failures, when non-nil, injects super-peer failures and recoveries,
+	// measuring the reliability benefit of redundancy (Section 3.2).
+	Failures *FailureOptions
+	// Content, when non-nil, evaluates queries over real inverted indexes
+	// instead of the Appendix B match-sampling model.
+	Content *ContentOptions
+}
+
+// Measured is a simulation run's output: observed (not expected) loads under
+// the same cost model the analysis engine uses. In adaptive mode the loads
+// cover the clusters alive at the end of the run.
+type Measured struct {
+	// Duration is the simulated virtual time.
+	Duration float64
+	// SuperPeer is the mean measured load of each live cluster's partner(s).
+	SuperPeer []analysis.Load
+	// MeanSuperPeer averages SuperPeer.
+	MeanSuperPeer analysis.Load
+	// MeanClient is the mean measured client load.
+	MeanClient analysis.Load
+	// Aggregate sums all live node loads.
+	Aggregate analysis.Load
+	// ResultsPerQuery is the observed mean number of results per query.
+	ResultsPerQuery float64
+	// EPL is the observed mean hop count of Response messages.
+	EPL float64
+	// QueriesIssued counts queries submitted by users.
+	QueriesIssued int
+	// EventsExecuted counts simulator events.
+	EventsExecuted int
+	// FinalClusters reports the number of live clusters at the end of the
+	// run (changes only in adaptive mode).
+	FinalClusters int
+	// FinalMeanOutdegree is the mean overlay outdegree at the end of the run.
+	FinalMeanOutdegree float64
+	// FinalMeanTTL is the mean TTL super-peers stamp on queries at the end
+	// of the run (rule III decays it).
+	FinalMeanTTL float64
+	// FinalPeers counts live peers at the end of the run.
+	FinalPeers int
+	// FailuresInjected counts super-peer partner failures (failure
+	// injection only).
+	FailuresInjected int
+	// ClientQueriesLost counts queries clients could not submit because
+	// every partner of their cluster was down (failure injection only).
+	ClientQueriesLost int
+}
+
+// counters accumulate one node's observed work. Packet-multiplex overhead is
+// charged inline at each message with the node's connection count at that
+// moment.
+type counters struct {
+	bytesIn  float64
+	bytesOut float64
+	procU    float64
+}
+
+func (c *counters) load(duration float64) analysis.Load {
+	return analysis.Load{
+		InBps:  c.bytesIn * 8 / duration,
+		OutBps: c.bytesOut * 8 / duration,
+		ProcHz: cost.UnitsToHz(c.procU) / duration,
+	}
+}
+
+// clientNode is one client slot. Under churn the slot is re-occupied by a
+// statistically identical peer when its session ends. A retired slot has
+// cluster == nil and all its processes stop.
+type clientNode struct {
+	cluster  *clusterNode
+	files    int
+	lifespan float64
+	rr       int // round-robin partner selector
+	owner    int // cluster-local owner id (content mode)
+	counters counters
+}
+
+func (c *clientNode) alive() bool { return c.cluster != nil }
+
+// seenEntry records where a query first arrived from, for duplicate
+// detection and reverse-path routing.
+type seenEntry struct {
+	from   *partnerNode // nil when this partner is the query source
+	origin *clientNode  // non-nil when a local client sourced the query
+	at     float64
+}
+
+// partnerNode is one super-peer partner (a full node; a non-redundant
+// cluster has exactly one).
+type partnerNode struct {
+	cluster  *clusterNode
+	files    int
+	lifespan float64
+	owner    int // cluster-local owner id (content mode)
+	counters counters
+}
+
+func (p *partnerNode) alive() bool {
+	if len(p.cluster.partners) == 0 {
+		return false
+	}
+	for _, q := range p.cluster.partners {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterNode is a (virtual) super-peer and its clients; a node of the
+// overlay. Neighbors are kept in a map for O(1) lookup but always iterated
+// in ascending id order to keep the simulation deterministic.
+type clusterNode struct {
+	id       int
+	partners []*partnerNode
+	clients  []*clientNode
+	// seen is the virtual super-peer's duplicate-detection and
+	// reverse-routing table, shared by all partners: the virtual super-peer
+	// is one node of the overlay, so a query is processed once per cluster
+	// no matter which partner a copy lands on.
+	seen             map[uint64]seenEntry
+	neighbors        map[int]*clusterNode
+	ttl              int  // TTL stamped on queries sourced in this cluster
+	rrOut            int  // round-robin selector for neighbor partners
+	acceptingClients bool // rule I state, toggled by the adaptive advisor
+	// targetPartners is the redundancy level failure recovery restores.
+	targetPartners int
+	adaptive       *adaptiveState
+	failures       *failureState
+	// index is the cluster's shared inverted index (content mode only);
+	// partners hold identical replicas, modeled once.
+	index     *index.Index
+	nextOwner int
+}
+
+func (c *clusterNode) dissolved() bool { return len(c.partners) == 0 }
+
+// forEachNeighbor visits neighbors in ascending cluster-id order.
+func (c *clusterNode) forEachNeighbor(visit func(*clusterNode)) {
+	if len(c.neighbors) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(c.neighbors))
+	for id := range c.neighbors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		visit(c.neighbors[id])
+	}
+}
+
+// partnerConns returns the number of open connections one partner holds:
+// all clients, every partner of every neighbor, and the co-partner link.
+func (c *clusterNode) partnerConns() int {
+	conns := len(c.clients) + len(c.partners) - 1
+	for _, nb := range c.neighbors {
+		conns += len(nb.partners)
+	}
+	if conns < 0 {
+		conns = 0 // dissolved cluster handling a late in-flight message
+	}
+	return conns
+}
+
+// clientConns returns the connections one of the cluster's clients holds.
+func (c *clusterNode) clientConns() int { return len(c.partners) }
+
+// indexSize returns x_tot for the cluster's shared index.
+func (c *clusterNode) indexSize() int {
+	total := 0
+	for _, p := range c.partners {
+		total += p.files
+	}
+	for _, cl := range c.clients {
+		total += cl.files
+	}
+	return total
+}
+
+// Simulator executes the super-peer protocol over a mutable copy of a
+// generated instance.
+type Simulator struct {
+	sched    scheduler
+	rng      *stats.RNG
+	prof     *workload.Profile
+	opts     Options
+	clusters []*clusterNode
+
+	qBytes    float64
+	sendQProc float64
+	recvQProc float64
+
+	nextQueryID       uint64
+	arrivalsScheduled bool
+
+	queries      int
+	resultsTotal float64
+	respMsgs     float64
+	respHops     float64
+	events       int
+
+	failuresInjected  int
+	clientQueriesLost int
+}
+
+// New builds a simulator from a generated instance. The instance is copied
+// into mutable structures and is not modified.
+func New(inst *network.Instance, opts Options) (*Simulator, error) {
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("sim: Duration = %v, want > 0", opts.Duration)
+	}
+	if opts.Latency <= 0 {
+		opts.Latency = 0.02
+	}
+	s := &Simulator{
+		rng:  stats.NewRNG(opts.Seed),
+		prof: inst.Profile,
+		opts: opts,
+	}
+	qb, sp := cost.SendQuery(inst.Profile.QueryLen)
+	_, rp := cost.RecvQuery(inst.Profile.QueryLen)
+	s.qBytes, s.sendQProc, s.recvQProc = float64(qb), float64(sp), float64(rp)
+
+	// Build mutable clusters.
+	s.clusters = make([]*clusterNode, len(inst.Clusters))
+	for v := range inst.Clusters {
+		src := &inst.Clusters[v]
+		c := &clusterNode{
+			id:               v,
+			seen:             make(map[uint64]seenEntry),
+			neighbors:        make(map[int]*clusterNode),
+			ttl:              inst.Config.TTL,
+			acceptingClients: true,
+		}
+		for _, p := range src.Partners {
+			c.partners = append(c.partners, &partnerNode{
+				cluster: c, files: p.Files, lifespan: p.Lifespan,
+			})
+		}
+		for _, cl := range src.Clients {
+			c.clients = append(c.clients, &clientNode{
+				cluster: c, files: cl.Files, lifespan: cl.Lifespan,
+			})
+		}
+		c.targetPartners = len(c.partners)
+		s.clusters[v] = c
+	}
+	for v := range inst.Clusters {
+		inst.Graph.VisitNeighbors(v, func(w int) bool {
+			s.clusters[v].neighbors[w] = s.clusters[w]
+			return true
+		})
+	}
+	if s.contentMode() {
+		if err := s.initContent(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Run executes the simulation and returns the measured loads and metrics.
+func Run(inst *network.Instance, opts Options) (*Measured, error) {
+	s, err := New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	s.events = s.sched.runUntil(opts.Duration)
+	return s.measure(), nil
+}
+
+// start schedules every peer's behavior processes.
+func (s *Simulator) start() {
+	for _, c := range s.clusters {
+		for _, p := range c.partners {
+			s.startPartnerProcesses(p, true)
+		}
+		for _, cl := range c.clients {
+			s.startClientProcesses(cl, true)
+		}
+		s.scheduleSeenCleanup(c)
+		s.scheduleFailures(c)
+		if s.opts.Adaptive != nil {
+			s.scheduleAdaptive(c)
+		}
+	}
+}
+
+// startClientProcesses schedules a client slot's behavior loops: Poisson
+// queries and updates, plus the deterministic session-churn cycle. All loops
+// stop once the slot is retired. offsetChurn staggers the first churn event
+// uniformly within one lifespan (used for the initial population; nodes
+// created mid-run just completed a join).
+func (s *Simulator) startClientProcesses(c *clientNode, offsetChurn bool) {
+	s.scheduleGuardedProcess(s.prof.Rates.QueryRate, c.alive,
+		func() { s.userQueryFromClient(c) })
+	s.scheduleGuardedProcess(s.prof.Rates.UpdateRate, c.alive,
+		func() { s.clientUpdate(c) })
+	if s.opts.Churn {
+		first := c.lifespan
+		if offsetChurn {
+			first = s.rng.Float64() * c.lifespan
+		}
+		var cycle func()
+		cycle = func() {
+			if !c.alive() {
+				return
+			}
+			s.clientJoin(c)
+			s.sched.schedule(c.lifespan, cycle)
+		}
+		s.sched.schedule(first, cycle)
+	}
+}
+
+// startPartnerProcesses schedules a super-peer partner's behavior loops:
+// its own queries and updates, index maintenance churn, and duplicate-table
+// cleanup.
+func (s *Simulator) startPartnerProcesses(p *partnerNode, offsetChurn bool) {
+	s.scheduleGuardedProcess(s.prof.Rates.QueryRate, p.alive,
+		func() { s.userQueryFromPartner(p) })
+	s.scheduleGuardedProcess(s.prof.Rates.UpdateRate, p.alive,
+		func() { s.partnerUpdate(p) })
+	if s.opts.Churn {
+		first := p.lifespan
+		if offsetChurn {
+			first = s.rng.Float64() * p.lifespan
+		}
+		var cycle func()
+		cycle = func() {
+			if !p.alive() {
+				return
+			}
+			s.partnerRejoin(p)
+			s.sched.schedule(p.lifespan, cycle)
+		}
+		s.sched.schedule(first, cycle)
+	}
+}
+
+// scheduleGuardedProcess runs fn as a Poisson process with the given rate;
+// the process stops permanently once the guard fails.
+func (s *Simulator) scheduleGuardedProcess(rate float64, alive func() bool, fn func()) {
+	if rate <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if !alive() {
+			return
+		}
+		fn()
+		s.sched.schedule(s.rng.ExpFloat64()/rate, tick)
+	}
+	s.sched.schedule(s.rng.ExpFloat64()/rate, tick)
+}
+
+// scheduleSeenCleanup periodically expires old duplicate-detection entries
+// of a cluster's shared table.
+func (s *Simulator) scheduleSeenCleanup(c *clusterNode) {
+	const interval, maxAge = 120.0, 60.0
+	var tick func()
+	tick = func() {
+		if c.dissolved() {
+			return
+		}
+		cutoff := s.sched.now - maxAge
+		for id, e := range c.seen {
+			if e.at < cutoff {
+				delete(c.seen, id)
+			}
+		}
+		s.sched.schedule(interval, tick)
+	}
+	s.sched.schedule(interval, tick)
+}
+
+// measure converts counters to loads and summary metrics.
+func (s *Simulator) measure() *Measured {
+	m := &Measured{
+		Duration:          s.opts.Duration,
+		QueriesIssued:     s.queries,
+		EventsExecuted:    s.events,
+		FailuresInjected:  s.failuresInjected,
+		ClientQueriesLost: s.clientQueriesLost,
+	}
+	var clientSum analysis.Load
+	clientCount := 0
+	var ttlSum, degSum float64
+	for _, c := range s.clusters {
+		if c.dissolved() {
+			continue
+		}
+		m.FinalClusters++
+		var sp analysis.Load
+		for _, p := range c.partners {
+			sp = sp.Add(p.counters.load(s.opts.Duration))
+		}
+		perPartner := sp.Scale(1 / float64(len(c.partners)))
+		m.SuperPeer = append(m.SuperPeer, perPartner)
+		m.MeanSuperPeer = m.MeanSuperPeer.Add(perPartner)
+		m.Aggregate = m.Aggregate.Add(sp)
+		m.FinalPeers += len(c.partners)
+		for _, cl := range c.clients {
+			l := cl.counters.load(s.opts.Duration)
+			clientSum = clientSum.Add(l)
+			m.Aggregate = m.Aggregate.Add(l)
+			clientCount++
+		}
+		m.FinalPeers += len(c.clients)
+		ttlSum += float64(c.ttl)
+		degSum += float64(len(c.neighbors))
+	}
+	if m.FinalClusters > 0 {
+		k := float64(m.FinalClusters)
+		m.MeanSuperPeer = m.MeanSuperPeer.Scale(1 / k)
+		m.FinalMeanTTL = ttlSum / k
+		m.FinalMeanOutdegree = degSum / k
+	}
+	if clientCount > 0 {
+		m.MeanClient = clientSum.Scale(1 / float64(clientCount))
+	}
+	if s.queries > 0 {
+		m.ResultsPerQuery = s.resultsTotal / float64(s.queries)
+	}
+	if s.respMsgs > 0 {
+		m.EPL = s.respHops / s.respMsgs
+	}
+	return m
+}

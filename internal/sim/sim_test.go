@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"spnet/internal/network"
+	"spnet/internal/stats"
+	"spnet/internal/workload"
+)
+
+// lowVarProfile mirrors the analysis tests: default means, light tails, so
+// short runs converge.
+func lowVarProfile() *workload.Profile {
+	prof := workload.DefaultProfile()
+	prof.Files = workload.FileCountDist{
+		FreeRiderFrac: 0,
+		Sharers:       stats.BoundedPareto{Alpha: 8, L: 90, H: 200},
+	}
+	prof.Lifespans = workload.LifespanDist{D: stats.BoundedPareto{Alpha: 8, L: 950, H: 2000}}
+	return prof
+}
+
+func generate(t *testing.T, cfg network.Config, prof *workload.Profile, seed uint64) *network.Instance {
+	t.Helper()
+	inst, err := network.Generate(cfg, prof, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return inst
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = 100
+	inst := generate(t, cfg, nil, 1)
+	if _, err := Run(inst, Options{Duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = 200
+	inst := generate(t, cfg, nil, 2)
+	opts := Options{Duration: 200, Seed: 7, Churn: true}
+	a, err := Run(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(generate(t, cfg, nil, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Aggregate != b.Aggregate || a.QueriesIssued != b.QueriesIssued ||
+		a.EventsExecuted != b.EventsExecuted {
+		t.Errorf("same seed differs: %+v vs %+v", a.Aggregate, b.Aggregate)
+	}
+}
+
+func TestRunBasicActivity(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = 300
+	inst := generate(t, cfg, nil, 3)
+	m, err := Run(inst, Options{Duration: 300, Seed: 1, Churn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueriesIssued == 0 {
+		t.Fatal("no queries issued")
+	}
+	if m.ResultsPerQuery <= 0 {
+		t.Error("no results observed")
+	}
+	if m.EPL < 1 || m.EPL > float64(cfg.TTL) {
+		t.Errorf("EPL = %v outside [1, %d]", m.EPL, cfg.TTL)
+	}
+	if m.Aggregate.InBps <= 0 || m.Aggregate.OutBps <= 0 || m.Aggregate.ProcHz <= 0 {
+		t.Errorf("empty aggregate load: %+v", m.Aggregate)
+	}
+	if m.FinalClusters != 30 {
+		t.Errorf("clusters = %d, want 30 (static topology)", m.FinalClusters)
+	}
+	// Expected query count: 300 users * 9.26e-3 * 300s ≈ 833.
+	want := float64(inst.NumPeers) * 9.26e-3 * 300
+	if relDiff(float64(m.QueriesIssued), want) > 0.15 {
+		t.Errorf("queries issued = %d, want ~%.0f", m.QueriesIssued, want)
+	}
+}
+
+// TestSimBandwidthConservation: every byte sent is received exactly once
+// (messages in flight at the horizon make the totals differ by at most the
+// tiny in-flight fraction).
+func TestSimBandwidthConservation(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = 400
+	inst := generate(t, cfg, nil, 4)
+	m, err := Run(inst, Options{Duration: 400, Seed: 2, Churn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(m.Aggregate.InBps, m.Aggregate.OutBps) > 0.01 {
+		t.Errorf("aggregate in %v vs out %v", m.Aggregate.InBps, m.Aggregate.OutBps)
+	}
+}
+
+// TestSimMatchesAnalysis is the central cross-validation: the observed loads
+// of the discrete-event simulator must agree with the mean-value analysis on
+// the same instance within stochastic tolerance.
+func TestSimMatchesAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long cross-validation run")
+	}
+	prof := lowVarProfile()
+	for _, tc := range []struct {
+		name string
+		cfg  network.Config
+	}{
+		{"power-law", network.Config{GraphType: network.PowerLaw, GraphSize: 600,
+			ClusterSize: 10, AvgOutdegree: 3.1, TTL: 7}},
+		{"strong", network.Config{GraphType: network.Strong, GraphSize: 400,
+			ClusterSize: 20, TTL: 1}},
+		{"redundant", network.Config{GraphType: network.PowerLaw, GraphSize: 400,
+			ClusterSize: 10, AvgOutdegree: 3.1, TTL: 5, Redundancy: true}},
+		{"k3-redundant", network.Config{GraphType: network.PowerLaw, GraphSize: 400,
+			ClusterSize: 10, KRedundancy: 3, AvgOutdegree: 3.1, TTL: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := generate(t, tc.cfg, prof, 5)
+			expected := analysisEvaluate(inst)
+			m, err := Run(inst, Options{Duration: 3000, Seed: 6, Churn: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(name string, got, want float64, tol float64) {
+				if want == 0 && got == 0 {
+					return
+				}
+				if relDiff(got, want) > tol {
+					t.Errorf("%s: sim %.4g vs analysis %.4g (%.1f%% off)",
+						name, got, want, 100*relDiff(got, want))
+				}
+			}
+			check("aggregate in-bw", m.Aggregate.InBps, expected.agg.InBps, 0.10)
+			check("aggregate out-bw", m.Aggregate.OutBps, expected.agg.OutBps, 0.10)
+			check("aggregate proc", m.Aggregate.ProcHz, expected.agg.ProcHz, 0.10)
+			check("mean sp in-bw", m.MeanSuperPeer.InBps, expected.sp.InBps, 0.10)
+			check("mean sp out-bw", m.MeanSuperPeer.OutBps, expected.sp.OutBps, 0.10)
+			check("mean sp proc", m.MeanSuperPeer.ProcHz, expected.sp.ProcHz, 0.10)
+			check("mean client in-bw", m.MeanClient.InBps, expected.client.InBps, 0.12)
+			check("results/query", m.ResultsPerQuery, expected.results, 0.10)
+			if expected.epl > 1.05 {
+				check("EPL", m.EPL, expected.epl, 0.15)
+			}
+		})
+	}
+}
+
+func TestSimWithoutChurnHasNoJoinTraffic(t *testing.T) {
+	prof := lowVarProfile()
+	cfg := network.Config{GraphType: network.PowerLaw, GraphSize: 300,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 5}
+	inst := generate(t, cfg, prof, 7)
+	with, err := Run(inst, Options{Duration: 500, Seed: 8, Churn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(generate(t, cfg, prof, 7), Options{Duration: 500, Seed: 8, Churn: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join metadata dominates client outgoing bandwidth, so disabling churn
+	// must cut it drastically.
+	if without.MeanClient.OutBps >= with.MeanClient.OutBps*0.5 {
+		t.Errorf("churnless client out-bw %v not far below churned %v",
+			without.MeanClient.OutBps, with.MeanClient.OutBps)
+	}
+}
+
+func TestSimTTLZero(t *testing.T) {
+	cfg := network.Config{GraphType: network.PowerLaw, GraphSize: 200,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 0}
+	inst := generate(t, cfg, nil, 9)
+	m, err := Run(inst, Options{Duration: 300, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EPL != 0 {
+		t.Errorf("EPL = %v with TTL 0, want 0 (no overlay responses)", m.EPL)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var s scheduler
+	var got []int
+	s.schedule(3, func() { got = append(got, 3) })
+	s.schedule(1, func() { got = append(got, 1) })
+	s.schedule(2, func() { got = append(got, 2) })
+	s.schedule(1, func() { got = append(got, 11) }) // same time: FIFO by seq
+	s.runUntil(10)
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventQueueHorizon(t *testing.T) {
+	var s scheduler
+	ran := false
+	s.schedule(5, func() { ran = true })
+	if n := s.runUntil(4); n != 0 || ran {
+		t.Error("event beyond horizon executed")
+	}
+	if s.now != 4 {
+		t.Errorf("clock = %v, want 4", s.now)
+	}
+	if n := s.runUntil(6); n != 1 || !ran {
+		t.Error("event within horizon skipped")
+	}
+}
+
+func TestIndexSizeAndConns(t *testing.T) {
+	cfg := network.Config{GraphType: network.PowerLaw, GraphSize: 200,
+		ClusterSize: 10, AvgOutdegree: 3.1, TTL: 3, Redundancy: true}
+	inst := generate(t, cfg, nil, 11)
+	s, err := New(inst, Options{Duration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range s.clusters {
+		if got, want := c.indexSize(), inst.Clusters[v].IndexFiles; got != want {
+			t.Fatalf("cluster %d index size %d, want %d", v, got, want)
+		}
+		if got, want := c.partnerConns(), inst.SuperPeerConns(v); got != want {
+			t.Fatalf("cluster %d partner conns %d, want %d", v, got, want)
+		}
+		if got, want := c.clientConns(), inst.ClientConns(); got != want {
+			t.Fatalf("cluster %d client conns %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats provides the deterministic random substrate used throughout
+// the super-peer evaluation framework: a splittable PRNG, the distributions
+// the paper's evaluation model needs (normal cluster sizes, heavy-tailed file
+// counts and lifespans, Zipf query popularity), and the summary statistics
+// used to report results (means, 95% confidence intervals, histograms).
+//
+// Every source of randomness in the repository flows through an *RNG so that
+// experiments are reproducible from a single seed.
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic, splittable pseudo-random number generator.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 so that any
+// 64-bit seed (including 0) yields a well-mixed state. Split derives an
+// independent child stream from a label, which lets concurrent experiment
+// trials and per-node event streams stay reproducible regardless of
+// scheduling order.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	return r
+}
+
+// splitMix64 advances a SplitMix64 state and returns (nextState, output).
+func splitMix64(x uint64) (uint64, uint64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return x, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new RNG whose stream is statistically independent of r's
+// and of any other Split with a different label. It advances r once.
+func (r *RNG) Split(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	x := r.Uint64()
+	m := uint64(n)
+	hi, lo := bits.Mul64(x, m)
+	if lo < m {
+		thresh := -m % m
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, m)
+		}
+	}
+	return int(hi)
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using the
+// polar Marsaglia method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the mean and a 95% confidence interval over repeated trials,
+// matching the paper's Step 4 ("We also calculate 95% confidence intervals
+// for E[M|I]").
+type Summary struct {
+	Mean   float64
+	CI95   float64 // half-width of the 95% confidence interval around Mean
+	StdDev float64
+	N      int
+}
+
+// Summarize computes the mean, sample standard deviation and the half-width
+// of a 95% confidence interval for the mean of xs. For the small trial counts
+// the paper uses, a Student-t critical value is applied.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{Mean: mean, N: 1}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	ci := tCrit95(n-1) * sd / math.Sqrt(float64(n))
+	return Summary{Mean: mean, CI95: ci, StdDev: sd, N: n}
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom (tabulated for small df, 1.96 asymptotically).
+func tCrit95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+		2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 40:
+		return 2.03
+	case df < 60:
+		return 2.01
+	case df < 120:
+		return 1.99
+	}
+	return 1.96
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Bucket is one group of a grouped histogram: the set of sample values that
+// share an integer key (e.g. super-peer loads grouped by outdegree, as in
+// the paper's Figures 7 and 8).
+type Bucket struct {
+	Key    int
+	Mean   float64
+	StdDev float64
+	N      int
+}
+
+// GroupByKey buckets (key, value) samples by key and reports per-bucket mean
+// and standard deviation, sorted by key ascending.
+func GroupByKey(keys []int, values []float64) []Bucket {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("stats: GroupByKey length mismatch: %d keys, %d values", len(keys), len(values)))
+	}
+	byKey := make(map[int][]float64)
+	for i, k := range keys {
+		byKey[k] = append(byKey[k], values[i])
+	}
+	out := make([]Bucket, 0, len(byKey))
+	for k, vs := range byKey {
+		out = append(out, Bucket{Key: k, Mean: Mean(vs), StdDev: StdDev(vs), N: len(vs)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The simulator uses it for per-node load estimates over long runs.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	wantSD := math.Sqrt(2.5)
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, wantSD)
+	}
+	// CI half-width = t(4) * sd / sqrt(5) = 2.776 * 1.5811 / 2.2360.
+	wantCI := 2.776 * wantSD / math.Sqrt(5)
+	if math.Abs(s.CI95-wantCI) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.N != 1 || s.CI95 != 0 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+func TestSummarizeConstantSeries(t *testing.T) {
+	s := Summarize([]float64{4, 4, 4, 4})
+	if s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("constant series has StdDev=%v CI95=%v, want 0", s.StdDev, s.CI95)
+	}
+}
+
+func TestCI95CoversMeanProperty(t *testing.T) {
+	// For normal samples, ~95% of computed intervals should contain the true
+	// mean. Check the coverage is within a loose band.
+	r := NewRNG(101)
+	const trials = 2000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = 5 + 2*r.NormFloat64()
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-5) <= s.CI95 {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("CI coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	keys := []int{2, 1, 2, 1, 3}
+	vals := []float64{10, 1, 20, 3, 7}
+	buckets := GroupByKey(keys, vals)
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	if buckets[0].Key != 1 || buckets[1].Key != 2 || buckets[2].Key != 3 {
+		t.Fatalf("buckets not sorted by key: %+v", buckets)
+	}
+	if buckets[0].Mean != 2 || buckets[0].N != 2 {
+		t.Errorf("bucket key 1 = %+v, want mean 2 n 2", buckets[0])
+	}
+	if buckets[1].Mean != 15 {
+		t.Errorf("bucket key 2 mean = %v, want 15", buckets[1].Mean)
+	}
+	if buckets[2].N != 1 || buckets[2].StdDev != 0 {
+		t.Errorf("singleton bucket = %+v", buckets[2])
+	}
+}
+
+func TestGroupByKeyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GroupByKey with mismatched lengths did not panic")
+		}
+	}()
+	GroupByKey([]int{1}, []float64{1, 2})
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	if err := quick.Check(func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(xs[i])
+		}
+		s := Summarize(xs)
+		return math.Abs(w.Mean()-s.Mean) < 1e-9 &&
+			math.Abs(w.StdDev()-s.StdDev) < 1e-9 &&
+			w.N() == s.N
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of single sample != 0")
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 1.5, CI95: 0.25, N: 4}
+	if got := s.String(); got == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"sort"
+	"testing"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]int) *AdjGraph {
+	t.Helper()
+	g, err := NewAdjGraph(n, edges)
+	if err != nil {
+		t.Fatalf("NewAdjGraph: %v", err)
+	}
+	return g
+}
+
+// pathGraph returns 0-1-2-…-(n-1).
+func pathGraph(t *testing.T, n int) *AdjGraph {
+	t.Helper()
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return mustGraph(t, n, edges)
+}
+
+func TestAdjGraphBasics(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g.N() != 4 {
+		t.Errorf("N = %d, want 4", g.N())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	for v := 0; v < 4; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if g.AvgDegree() != 2 {
+		t.Errorf("AvgDegree = %v, want 2", g.AvgDegree())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge(0,1) false")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) true, want false")
+	}
+	if g.IsClique() {
+		t.Error("4-cycle reported as clique")
+	}
+}
+
+func TestAdjGraphNeighborSymmetry(t *testing.T) {
+	g := mustGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 4}})
+	for v := 0; v < g.N(); v++ {
+		g.VisitNeighbors(v, func(w int) bool {
+			if !g.HasEdge(w, v) {
+				t.Errorf("edge %d-%d not symmetric", v, w)
+			}
+			return true
+		})
+	}
+}
+
+func TestAdjGraphRejectsBadEdges(t *testing.T) {
+	cases := map[string][][2]int{
+		"self-loop":    {{1, 1}},
+		"duplicate":    {{0, 1}, {1, 0}},
+		"out-of-range": {{0, 7}},
+		"negative":     {{-1, 0}},
+	}
+	for name, edges := range cases {
+		if _, err := NewAdjGraph(3, edges); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestAdjGraphTriangleIsClique(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if !g.IsClique() {
+		t.Error("triangle not detected as clique")
+	}
+}
+
+func TestVisitNeighborsEarlyStop(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	visits := 0
+	g.VisitNeighbors(0, func(w int) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("early stop visited %d neighbors, want 1", visits)
+	}
+}
+
+func TestCliqueBasics(t *testing.T) {
+	c := NewClique(5)
+	if c.N() != 5 {
+		t.Errorf("N = %d, want 5", c.N())
+	}
+	if !c.IsClique() {
+		t.Error("IsClique false")
+	}
+	for v := 0; v < 5; v++ {
+		if c.Degree(v) != 4 {
+			t.Errorf("Degree(%d) = %d, want 4", v, c.Degree(v))
+		}
+		var got []int
+		c.VisitNeighbors(v, func(w int) bool {
+			got = append(got, w)
+			return true
+		})
+		if len(got) != 4 {
+			t.Errorf("node %d visited %d neighbors, want 4", v, len(got))
+		}
+		for _, w := range got {
+			if w == v {
+				t.Errorf("clique visited self at node %d", v)
+			}
+		}
+	}
+	if c.AvgDegree() != 4 {
+		t.Errorf("AvgDegree = %v, want 4", c.AvgDegree())
+	}
+}
+
+func TestCliqueVisitEarlyStop(t *testing.T) {
+	c := NewClique(10)
+	visits := 0
+	c.VisitNeighbors(3, func(w int) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Errorf("visited %d, want 2", visits)
+	}
+}
+
+func TestComponentsAndConnectivity(t *testing.T) {
+	g := mustGraph(t, 6, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	comps := Components(g)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	sizes := make([]int, len(comps))
+	for i, c := range comps {
+		sizes[i] = len(c)
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Errorf("component sizes = %v, want [1 2 3]", sizes)
+	}
+	if IsConnected(g) {
+		t.Error("disconnected graph reported connected")
+	}
+	if !IsConnected(pathGraph(t, 5)) {
+		t.Error("path graph reported disconnected")
+	}
+}
+
+func TestDegreeFrequency(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	freq := DegreeFrequency(g)
+	if freq[3] != 1 || freq[1] != 3 {
+		t.Errorf("DegreeFrequency = %v, want map[1:3 3:1]", freq)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustGraph(t, 3, nil)
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 0 {
+		t.Errorf("Degree = %d", g.Degree(0))
+	}
+	if g.IsClique() {
+		t.Error("3-node empty graph is not a clique")
+	}
+	single := mustGraph(t, 1, nil)
+	if !single.IsClique() {
+		t.Error("single node should count as clique")
+	}
+}

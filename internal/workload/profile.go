@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"spnet/internal/stats"
+)
+
+// Rates are the per-user action rates of Table 1 / Table 3. Join rate is not
+// listed here because the paper derives it per node as the inverse of the
+// node's session lifespan ("if the size of the network is stable, when a
+// node leaves the network, another node is joining elsewhere").
+type Rates struct {
+	// QueryRate is the expected number of queries per user per second:
+	// 9.26×10⁻³ (Table 3).
+	QueryRate float64
+	// UpdateRate is the expected number of updates per user per second:
+	// 1.85×10⁻³ (Table 1). The paper notes overall performance is not
+	// sensitive to this value.
+	UpdateRate float64
+}
+
+// DefaultRates returns the Table 1 defaults.
+func DefaultRates() Rates {
+	return Rates{QueryRate: 9.26e-3, UpdateRate: 1.85e-3}
+}
+
+// LowQueryRates returns the Appendix C variant where the query rate is
+// lowered tenfold (9.26×10⁻⁴) so the query:join ratio is ≈ 1 instead of ≈ 10.
+func LowQueryRates() Rates {
+	r := DefaultRates()
+	r.QueryRate /= 10
+	return r
+}
+
+// FileCountDist models how many files a peer shares: a free-rider fraction
+// that shares nothing (the measurement studies [1, 22] found ≈25% of
+// Gnutella peers share no files) and a heavy-tailed bounded Pareto for the
+// rest, calibrated so the overall mean is ≈100 files/peer (see DESIGN.md,
+// substitution 2).
+type FileCountDist struct {
+	FreeRiderFrac float64
+	Sharers       stats.BoundedPareto
+}
+
+// DefaultFileCountDist returns the calibrated default (mean ≈ 100).
+func DefaultFileCountDist() FileCountDist {
+	return FileCountDist{
+		FreeRiderFrac: 0.25,
+		Sharers:       stats.BoundedPareto{Alpha: 1.1, L: 25, H: 20000},
+	}
+}
+
+// Validate reports whether the distribution's parameters are usable.
+func (d FileCountDist) Validate() error {
+	if d.FreeRiderFrac < 0 || d.FreeRiderFrac >= 1 {
+		return fmt.Errorf("workload: FreeRiderFrac = %v, want [0, 1)", d.FreeRiderFrac)
+	}
+	if d.Sharers.Alpha <= 0 || d.Sharers.L <= 0 || d.Sharers.H <= d.Sharers.L {
+		return fmt.Errorf("workload: bad sharer distribution %+v", d.Sharers)
+	}
+	return nil
+}
+
+// Sample draws a file count for one peer.
+func (d FileCountDist) Sample(rng *stats.RNG) int {
+	if rng.Float64() < d.FreeRiderFrac {
+		return 0
+	}
+	return int(math.Round(d.Sharers.Sample(rng)))
+}
+
+// Mean returns the analytic mean file count over all peers.
+func (d FileCountDist) Mean() float64 {
+	return (1 - d.FreeRiderFrac) * d.Sharers.Mean()
+}
+
+// LifespanDist models session lifespans (seconds logged in before leaving),
+// heavy-tailed after [22] and calibrated so the mean lifespan gives a
+// query:join ratio of ≈10 at the default query rate — the ratio the paper
+// states for Gnutella in Appendix C.
+type LifespanDist struct {
+	D stats.BoundedPareto
+}
+
+// DefaultLifespanDist returns the calibrated default (mean ≈ 1080 s, making
+// the join rate ≈ QueryRate/10).
+func DefaultLifespanDist() LifespanDist {
+	return LifespanDist{D: stats.BoundedPareto{Alpha: 1.5, L: 400, H: 36000}}
+}
+
+// Sample draws a session lifespan in seconds.
+func (d LifespanDist) Sample(rng *stats.RNG) float64 { return d.D.Sample(rng) }
+
+// Mean returns the analytic mean lifespan.
+func (d LifespanDist) Mean() float64 { return d.D.Mean() }
+
+// Validate reports whether the distribution's parameters are usable.
+func (d LifespanDist) Validate() error {
+	if d.D.Alpha <= 0 || d.D.L <= 0 || d.D.H <= d.D.L {
+		return fmt.Errorf("workload: bad lifespan distribution %+v", d.D)
+	}
+	return nil
+}
+
+// Profile bundles everything the instance generator and the engines need to
+// know about user behavior.
+type Profile struct {
+	Queries   *QueryModel
+	Files     FileCountDist
+	Lifespans LifespanDist
+	Rates     Rates
+	// QueryLen is the expected query-string length in bytes (Table 3: 12).
+	QueryLen int
+}
+
+// DefaultProfile returns the paper-default workload.
+func DefaultProfile() *Profile {
+	return &Profile{
+		Queries:   NewDefaultQueryModel(),
+		Files:     DefaultFileCountDist(),
+		Lifespans: DefaultLifespanDist(),
+		Rates:     DefaultRates(),
+		QueryLen:  12,
+	}
+}
+
+// Validate reports whether the profile is usable.
+func (p *Profile) Validate() error {
+	if p.Queries == nil {
+		return fmt.Errorf("workload: nil query model")
+	}
+	if err := p.Files.Validate(); err != nil {
+		return err
+	}
+	if err := p.Lifespans.Validate(); err != nil {
+		return err
+	}
+	if p.Rates.QueryRate < 0 || p.Rates.UpdateRate < 0 {
+		return fmt.Errorf("workload: negative rates %+v", p.Rates)
+	}
+	if p.QueryLen < 0 {
+		return fmt.Errorf("workload: QueryLen = %d", p.QueryLen)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"spnet/internal/stats"
+)
+
+func TestDefaultFileCountCalibration(t *testing.T) {
+	d := DefaultFileCountDist()
+	if mean := d.Mean(); mean < 80 || mean > 130 {
+		t.Errorf("analytic mean files = %v, want ~100 (Saroiu-style calibration)", mean)
+	}
+	rng := stats.NewRNG(1)
+	const n = 200000
+	var sum float64
+	zero := 0
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 0 {
+			t.Fatalf("negative file count %d", v)
+		}
+		if v == 0 {
+			zero++
+		}
+		sum += float64(v)
+	}
+	gotMean := sum / n
+	if math.Abs(gotMean-d.Mean())/d.Mean() > 0.05 {
+		t.Errorf("sample mean %v, analytic %v", gotMean, d.Mean())
+	}
+	frac := float64(zero) / n
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("free-rider fraction %v, want ~0.25", frac)
+	}
+}
+
+func TestDefaultLifespanCalibration(t *testing.T) {
+	// The paper (Appendix C): query:join ratio ≈ 10 at the default query
+	// rate, i.e. mean lifespan ≈ 10 / queryRate ≈ 1080 s.
+	d := DefaultLifespanDist()
+	r := DefaultRates()
+	ratio := r.QueryRate * d.Mean()
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("query:join ratio = %v, want ~10", ratio)
+	}
+	rng := stats.NewRNG(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v <= 0 {
+			t.Fatalf("non-positive lifespan %v", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-d.Mean())/d.Mean() > 0.05 {
+		t.Errorf("sample mean %v, analytic %v", got, d.Mean())
+	}
+}
+
+func TestDefaultRates(t *testing.T) {
+	r := DefaultRates()
+	if r.QueryRate != 9.26e-3 {
+		t.Errorf("QueryRate = %v, want 9.26e-3 (Table 3)", r.QueryRate)
+	}
+	if r.UpdateRate != 1.85e-3 {
+		t.Errorf("UpdateRate = %v, want 1.85e-3 (Table 1)", r.UpdateRate)
+	}
+}
+
+func TestLowQueryRates(t *testing.T) {
+	lo, def := LowQueryRates(), DefaultRates()
+	if math.Abs(lo.QueryRate-def.QueryRate/10) > 1e-12 {
+		t.Errorf("LowQueryRates().QueryRate = %v, want %v", lo.QueryRate, def.QueryRate/10)
+	}
+	if lo.UpdateRate != def.UpdateRate {
+		t.Error("LowQueryRates should not change the update rate")
+	}
+}
+
+func TestDefaultProfileValid(t *testing.T) {
+	p := DefaultProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	if p.QueryLen != 12 {
+		t.Errorf("QueryLen = %d, want 12 (Table 3)", p.QueryLen)
+	}
+}
+
+func TestProfileValidationCatchesBadFields(t *testing.T) {
+	mk := func(mutate func(*Profile)) *Profile {
+		p := DefaultProfile()
+		mutate(p)
+		return p
+	}
+	cases := map[string]*Profile{
+		"nil queries":   mk(func(p *Profile) { p.Queries = nil }),
+		"bad files":     mk(func(p *Profile) { p.Files.FreeRiderFrac = 1.5 }),
+		"bad lifespan":  mk(func(p *Profile) { p.Lifespans.D.H = 0 }),
+		"negative rate": mk(func(p *Profile) { p.Rates.QueryRate = -1 }),
+		"negative qlen": mk(func(p *Profile) { p.QueryLen = -1 }),
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestFileCountValidate(t *testing.T) {
+	good := DefaultFileCountDist()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	bad := good
+	bad.Sharers.Alpha = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+}

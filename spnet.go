@@ -1,0 +1,256 @@
+// Package spnet is a library for designing and evaluating super-peer
+// peer-to-peer networks, reproducing Yang & Garcia-Molina, "Designing a
+// Super-Peer Network" (ICDE 2003).
+//
+// A super-peer network is a P2P overlay in which each node of the overlay is
+// a super-peer serving a cluster of clients: clients submit queries to their
+// super-peer, which answers from an index of its clients' collections and
+// floods the query over the super-peer overlay with a TTL, Gnutella-style.
+// The paper analyzes how cluster size, 2-redundant "virtual" super-peers,
+// overlay outdegree and TTL trade off aggregate load, individual load,
+// reliability and result quality — and distills rules of thumb, a global
+// design procedure, and local adaptation rules.
+//
+// The library provides:
+//
+//   - Configuration and instance generation (Table 1, Section 4.1 Step 1):
+//     Config, Generate, with PLOD power-law or strongly connected overlays
+//     and measured-style workloads (Profile).
+//   - The mean-value analysis engine (Steps 2–4): Evaluate for one instance,
+//     RunTrials for repeated trials with 95% confidence intervals. Results
+//     expose per-node, group and aggregate loads along incoming bandwidth,
+//     outgoing bandwidth and processing power, plus results per query, reach
+//     and expected path length.
+//   - The global design procedure of Figure 10 (Design) and the TTL/EPL
+//     helpers of rule #4 and Appendix F (PredictTTL, PredictEPL, MeasureEPL).
+//   - The Section 5.3 local decision rules (Advise) and a deterministic
+//     discrete-event, message-level simulator (Simulate) that validates the
+//     analysis and runs the local rules under churn.
+//   - An experiment harness regenerating every table and figure of the
+//     paper's evaluation (RunExperiment, ExperimentIDs).
+//
+// Quick start:
+//
+//	cfg := spnet.DefaultConfig()          // Table 1 defaults
+//	inst, err := spnet.Generate(cfg, nil, 42)
+//	if err != nil { ... }
+//	res := spnet.Evaluate(inst)
+//	fmt.Println(res.MeanSuperPeerLoad(), res.ResultsPerQuery)
+package spnet
+
+import (
+	"spnet/internal/analysis"
+	"spnet/internal/content"
+	"spnet/internal/design"
+	"spnet/internal/experiments"
+	"spnet/internal/network"
+	"spnet/internal/p2p"
+	"spnet/internal/sim"
+	"spnet/internal/stats"
+	"spnet/internal/workload"
+)
+
+// Config is a network configuration: the paper's Table 1 parameters.
+type Config = network.Config
+
+// GraphType selects the overlay topology.
+type GraphType = network.GraphType
+
+// Overlay topology kinds.
+const (
+	// Strong is the strongly connected (complete) super-peer overlay.
+	Strong = network.Strong
+	// PowerLaw is a PLOD-generated power-law overlay like Gnutella's.
+	PowerLaw = network.PowerLaw
+)
+
+// DefaultConfig returns the paper's Table 1 defaults: a power-law network of
+// 10000 peers, cluster size 10, no redundancy, average outdegree 3.1, TTL 7.
+func DefaultConfig() Config { return network.DefaultConfig() }
+
+// Profile describes user behavior: the query model (Appendix B), file-count
+// and session-lifespan distributions, action rates and query length.
+type Profile = workload.Profile
+
+// DefaultProfile returns the calibrated default workload (see DESIGN.md for
+// the calibration anchors).
+func DefaultProfile() *Profile { return workload.DefaultProfile() }
+
+// QueryModel is the query model of Appendix B: query-class popularity g(j)
+// and per-class selection power f(j).
+type QueryModel = workload.QueryModel
+
+// NewQueryModel builds a query model from explicit popularity and selection
+// power vectors.
+func NewQueryModel(g, f []float64) (*QueryModel, error) {
+	return workload.NewQueryModel(g, f)
+}
+
+// Instance is one realized network: an overlay of clusters with sampled
+// clients, file counts and lifespans.
+type Instance = network.Instance
+
+// Generate realizes a configuration into an instance. A nil profile selects
+// the default workload. The same (config, profile, seed) always produces the
+// same instance.
+func Generate(cfg Config, prof *Profile, seed uint64) (*Instance, error) {
+	return network.Generate(cfg, prof, stats.NewRNG(seed))
+}
+
+// Load is work per unit time along the paper's three resource types:
+// incoming bandwidth (bps), outgoing bandwidth (bps), processing power (Hz).
+type Load = analysis.Load
+
+// Result is the mean-value analysis of one instance: per-node expected loads
+// (eq. 1), results per query (eq. 2), group loads (eq. 3), aggregate load
+// (eq. 4), reach and expected path length.
+type Result = analysis.Result
+
+// Evaluate runs the paper's mean-value analysis over one instance.
+func Evaluate(inst *Instance) *Result { return analysis.Evaluate(inst) }
+
+// Breakdown attributes aggregate load to protocol components (query
+// transfer, query processing, response transfer, joins, updates, packet
+// multiplex); obtain one from Result.LoadBreakdown.
+type Breakdown = analysis.Breakdown
+
+// TrialSummary is Step 4's output: expected loads over repeated instance
+// trials with 95% confidence intervals.
+type TrialSummary = analysis.TrialSummary
+
+// RunTrials generates and evaluates `trials` independent instances of cfg
+// and summarizes the results with 95% confidence intervals.
+func RunTrials(cfg Config, prof *Profile, trials int, seed uint64) (*TrialSummary, error) {
+	return analysis.RunTrials(cfg, prof, trials, seed)
+}
+
+// Goals, Constraints, DesignOptions and Plan parameterize the global design
+// procedure of Figure 10.
+type (
+	Goals         = design.Goals
+	Constraints   = design.Constraints
+	DesignOptions = design.Options
+	Plan          = design.Plan
+)
+
+// Design runs the global design procedure: given a network size, a desired
+// reach and per-super-peer load limits, it selects cluster size, redundancy,
+// outdegree and TTL.
+func Design(goals Goals, cons Constraints, opts DesignOptions) (*Plan, error) {
+	return design.Run(goals, cons, opts)
+}
+
+// PredictEPL approximates the expected path length for a desired reach (in
+// clusters) at an average outdegree: EPL ≈ log_d(reach) (Appendix F).
+func PredictEPL(avgOutdegree float64, reachClusters int) float64 {
+	return design.PredictEPL(avgOutdegree, reachClusters)
+}
+
+// PredictTTL returns the TTL to use for a desired reach at an average
+// outdegree (rule #4 with the Appendix F adjustment).
+func PredictTTL(avgOutdegree float64, reachClusters int) int {
+	return design.PredictTTL(avgOutdegree, reachClusters)
+}
+
+// MeasureEPL experimentally determines the expected path length for a
+// desired reach on power-law topologies (the Figure 9 measurement).
+func MeasureEPL(n int, avgOutdegree float64, reach, trials int, seed uint64) (float64, error) {
+	return design.MeasureEPL(n, avgOutdegree, reach, trials, stats.NewRNG(seed))
+}
+
+// LocalState, Thresholds and Advice implement the Section 5.3 local decision
+// rules for one super-peer.
+type (
+	LocalState = design.LocalState
+	Thresholds = design.Thresholds
+	Advice     = design.Advice
+)
+
+// Advise applies the Section 5.3 guidelines to one super-peer's local state.
+func Advise(s LocalState, th Thresholds) Advice { return design.Advise(s, th) }
+
+// SimOptions, AdaptiveOptions and Measured parameterize the discrete-event
+// message-level simulator.
+type (
+	SimOptions      = sim.Options
+	AdaptiveOptions = sim.AdaptiveOptions
+	FailureOptions  = sim.FailureOptions
+	ContentOptions  = sim.ContentOptions
+	Measured        = sim.Measured
+)
+
+// Library generates synthetic file titles and keyword queries over a Zipf
+// vocabulary — the corpus behind the simulator's content mode and the
+// BuildQueryModel calibration bridge.
+type Library = content.Library
+
+// NewLibrary builds a vocabulary of vocabSize terms with Zipf popularity.
+func NewLibrary(vocabSize int, exponent float64) (*Library, error) {
+	return content.NewLibrary(vocabSize, exponent)
+}
+
+// DefaultLibrary returns the calibrated default corpus generator.
+func DefaultLibrary() *Library { return content.DefaultLibrary() }
+
+// BuildQueryModel measures each query class's selection power over a
+// sampled corpus and returns the matching Appendix B query model.
+func BuildQueryModel(lib *Library, seed uint64, corpusFiles int) (*QueryModel, error) {
+	return lib.BuildQueryModel(stats.NewRNG(seed), corpusFiles)
+}
+
+// Simulate executes the super-peer protocol concretely over an instance on a
+// virtual clock, counting every byte and processing unit. With
+// SimOptions.Adaptive set it also runs the local decision rules.
+func Simulate(inst *Instance, opts SimOptions) (*Measured, error) {
+	return sim.Run(inst, opts)
+}
+
+// ExperimentParams and ExperimentReport parameterize the paper-evaluation
+// harness.
+type (
+	ExperimentParams = experiments.Params
+	ExperimentReport = experiments.Report
+)
+
+// ExperimentIDs lists the reproducible paper artifacts (tables and figures).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitles maps experiment ids to descriptions.
+func ExperimentTitles() map[string]string { return experiments.Titles() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, p ExperimentParams) (*ExperimentReport, error) {
+	return experiments.Run(id, p)
+}
+
+// FormatReport renders an experiment report as readable text.
+func FormatReport(r *ExperimentReport) string { return experiments.Format(r) }
+
+// WriteReportCSV writes a report's tables and series as CSV files under dir
+// and returns the paths written.
+func WriteReportCSV(r *ExperimentReport, dir string) ([]string, error) {
+	return experiments.WriteCSV(r, dir)
+}
+
+// Node, NodeOptions, NodeClient and friends are the runnable super-peer
+// implementation over TCP: a Node serves clients and peers concurrently,
+// maintains an inverted index over its clients' titles, floods keyword
+// queries over its overlay links with a TTL, and routes Response messages
+// back along the reverse path — the system the paper models, live.
+type (
+	Node         = p2p.Node
+	NodeOptions  = p2p.Options
+	NodeStats    = p2p.Stats
+	NodeClient   = p2p.Client
+	SharedFile   = p2p.SharedFile
+	SearchResult = p2p.SearchResult
+)
+
+// NewNode creates a super-peer; call its Listen method to start serving.
+func NewNode(opts NodeOptions) *Node { return p2p.NewNode(opts) }
+
+// DialSuperPeer connects as a client to a running super-peer and joins with
+// the given shared collection.
+func DialSuperPeer(addr string, files []SharedFile) (*NodeClient, error) {
+	return p2p.DialClient(addr, files)
+}
