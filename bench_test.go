@@ -50,6 +50,45 @@ func BenchmarkFigA14(b *testing.B)  { benchmarkExperiment(b, "figA14") }
 func BenchmarkFigA15(b *testing.B)  { benchmarkExperiment(b, "figA15") }
 func BenchmarkTableD2(b *testing.B) { benchmarkExperiment(b, "tableD2") }
 
+// BenchmarkFig4Serial / BenchmarkFig4Parallel measure the Figure 4 sweep
+// with the evaluation pool pinned to one worker versus all cores, at a
+// larger scale so the per-point work dominates pool overhead. Parallel
+// reports its speedup over a serial reference run as a custom metric; on a
+// single-core host the two are equivalent and the speedup reads ~1.
+func fig4BenchParams(workers int) spnet.ExperimentParams {
+	return spnet.ExperimentParams{Scale: 0.2, Trials: 2, Seed: 1, Workers: workers}
+}
+
+func BenchmarkFig4Serial(b *testing.B) {
+	p := fig4BenchParams(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := spnet.RunExperiment("fig4", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Parallel(b *testing.B) {
+	// One untimed serial run as the speedup reference.
+	serialStart := time.Now()
+	if _, err := spnet.RunExperiment("fig4", fig4BenchParams(1)); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(serialStart)
+
+	p := fig4BenchParams(0) // all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spnet.RunExperiment("fig4", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(serial)/float64(perOp), "speedup")
+	}
+}
+
 // BenchmarkKRedundancy runs the general-k redundancy extension (an ablation
 // of the paper's k=2 design choice).
 func BenchmarkKRedundancy(b *testing.B) { benchmarkExperiment(b, "kredundancy") }

@@ -29,6 +29,7 @@ func main() {
 		redundancy = flag.Bool("allow-redundancy", false, "allow 2-redundant super-peers")
 		trials     = flag.Int("trials", 2, "trials per candidate evaluation")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "candidate-evaluation workers (0 = all cores, 1 = serial); the selected plan is identical at any setting")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 			MaxConns:        *conns,
 			AllowRedundancy: *redundancy,
 		},
-		spnet.DesignOptions{Trials: *trials, Seed: *seed},
+		spnet.DesignOptions{Trials: *trials, Seed: *seed, Workers: *workers},
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "design failed:", err)

@@ -30,6 +30,7 @@ func main() {
 		ttl        = flag.Int("ttl", def.TTL, "query TTL")
 		trials     = flag.Int("trials", 3, "independent instance trials")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
 		lowQuery   = flag.Bool("low-query-rate", false, "use the Appendix C tenfold-lower query rate")
 	)
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 		prof.Rates.QueryRate /= 10
 	}
 
-	sum, err := spnet.RunTrials(cfg, prof, *trials, *seed)
+	sum, err := spnet.RunTrialsWorkers(cfg, prof, *trials, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -19,12 +19,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id, or 'all' (see -list)")
-		scale  = flag.Float64("scale", 1.0, "network-size multiplier (1.0 = paper scale)")
-		trials = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		list   = flag.Bool("list", false, "list the available experiments")
-		csvDir = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory")
+		exp     = flag.String("exp", "", "experiment id, or 'all' (see -list)")
+		scale   = flag.Float64("scale", 1.0, "network-size multiplier (1.0 = paper scale)")
+		trials  = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
+		list    = flag.Bool("list", false, "list the available experiments")
+		csvDir  = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		return
 	}
 
-	params := spnet.ExperimentParams{Scale: *scale, Trials: *trials, Seed: *seed}
+	params := spnet.ExperimentParams{Scale: *scale, Trials: *trials, Seed: *seed, Workers: *workers}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = spnet.ExperimentIDs()

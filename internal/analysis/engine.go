@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sync"
+
 	"spnet/internal/cost"
 	"spnet/internal/gnutella"
 	"spnet/internal/network"
@@ -56,11 +58,45 @@ type evaluator struct {
 	reachClustersNum       float64
 	reachPeersNum          float64
 
-	// Reusable BFS buffers (generic-graph path).
+	// Reusable BFS buffers (generic-graph path), leased from scratchPool so
+	// concurrent evaluations on the worker pool never share state and
+	// repeated evaluations don't reallocate.
+	scratch *bfsScratch
+}
+
+// bfsScratch holds one evaluation's BFS working set. Pooled invariant: when a
+// scratch is returned to the pool, every depth/parent entry is -1, every
+// flowBuf entry is the zero flow, and order is empty — the same state the
+// per-source reset loop in evalGraphQueries restores.
+type bfsScratch struct {
 	depth   []int32
 	parent  []int32
 	order   []int32
 	flowBuf []flow
+}
+
+var scratchPool = sync.Pool{New: func() any { return &bfsScratch{} }}
+
+// getScratch leases a scratch sized for n clusters, preserving the pool
+// invariant for the entries in use.
+func getScratch(n int) *bfsScratch {
+	s := scratchPool.Get().(*bfsScratch)
+	if cap(s.depth) < n {
+		s.depth = make([]int32, n)
+		s.parent = make([]int32, n)
+		s.flowBuf = make([]flow, n)
+		s.order = make([]int32, 0, n)
+		for i := range s.depth {
+			s.depth[i] = -1
+			s.parent[i] = -1
+		}
+		return s
+	}
+	s.depth = s.depth[:n]
+	s.parent = s.parent[:n]
+	s.flowBuf = s.flowBuf[:n]
+	s.order = s.order[:0]
+	return s
 }
 
 // Evaluate runs Steps 2–3 of the paper's evaluation model over one instance,
@@ -131,13 +167,7 @@ func (e *evaluator) evalGraphQueries() {
 	g := e.inst.Graph
 	n := g.N()
 	ttl := e.inst.Config.TTL
-	e.depth = make([]int32, n)
-	e.parent = make([]int32, n)
-	e.order = make([]int32, 0, n)
-	e.flowBuf = make([]flow, n)
-	for i := range e.depth {
-		e.depth[i] = -1
-	}
+	e.scratch = getScratch(n)
 
 	sp := e.res.spShared
 	for s := 0; s < n; s++ {
@@ -153,12 +183,12 @@ func (e *evaluator) evalGraphQueries() {
 		// to all neighbors except the edge the query arrived on. Copies
 		// arriving at already-visited nodes are redundant: received, then
 		// dropped (Section 5.1, rule #4).
-		for _, u32 := range e.order {
+		for _, u32 := range e.scratch.order {
 			u := int(u32)
-			if int(e.depth[u]) >= ttl {
+			if int(e.scratch.depth[u]) >= ttl {
 				continue // nodes at the TTL horizon do not forward
 			}
-			par := e.parent[u]
+			par := e.scratch.parent[u]
 			g.VisitNeighbors(u, func(nb int) bool {
 				if int32(nb) == par && u != s {
 					return true
@@ -175,24 +205,24 @@ func (e *evaluator) evalGraphQueries() {
 		}
 
 		// Every reached cluster processes the query over its index once.
-		for _, v32 := range e.order {
+		for _, v32 := range e.scratch.order {
 			v := int(v32)
 			pu := float64(cost.ProcessQuery(e.own[v].results))
 			sp[v].procU += w * pu
 			e.res.bd.process(w, pu)
-			e.flowBuf[v] = e.own[v]
+			e.scratch.flowBuf[v] = e.own[v]
 		}
 
 		// Responses travel up the BFS predecessor tree; iterating the BFS
 		// order backwards visits children before parents, so each node's
 		// flow is complete when it is charged.
-		for i := len(e.order) - 1; i >= 1; i-- {
-			v := int(e.order[i])
-			f := e.flowBuf[v]
+		for i := len(e.scratch.order) - 1; i >= 1; i-- {
+			v := int(e.scratch.order[i])
+			f := e.scratch.flowBuf[v]
 			if f.isZero() {
 				continue
 			}
-			p := int(e.parent[v])
+			p := int(e.scratch.parent[v])
 			b := respBytes(f)
 			sp[v].outBytes += w * b
 			sp[v].procU += w * sendRespProc(f)
@@ -201,58 +231,62 @@ func (e *evaluator) evalGraphQueries() {
 			sp[p].procU += w * recvRespProc(f)
 			sp[p].msgs += w * f.msgs
 			e.res.bd.respTransfer(w, b, sendRespProc(f), recvRespProc(f))
-			e.flowBuf[p].add(f)
+			e.scratch.flowBuf[p].add(f)
 		}
-		total := e.flowBuf[int(e.order[0])] // source: own + all relayed flows
+		total := e.scratch.flowBuf[int(e.scratch.order[0])] // source: own + all relayed flows
 		e.res.respToSource[s] = total
 
 		// Traversal metrics.
 		e.resultsNum += w * total.results
 		e.resultsDen += w
-		e.reachClustersNum += w * float64(len(e.order))
+		e.reachClustersNum += w * float64(len(e.scratch.order))
 		var peers float64
-		for _, v32 := range e.order {
+		for _, v32 := range e.scratch.order {
 			peers += e.users[v32]
 		}
 		e.reachPeersNum += w * peers
-		for _, v32 := range e.order[1:] {
+		for _, v32 := range e.scratch.order[1:] {
 			v := int(v32)
-			e.eplNum += w * float64(e.depth[v]) * e.own[v].msgs
+			e.eplNum += w * float64(e.scratch.depth[v]) * e.own[v].msgs
 			e.eplDen += w * e.own[v].msgs
 		}
 
 		// Reset the touched buffers for the next source.
-		for _, v32 := range e.order {
-			e.depth[v32] = -1
-			e.parent[v32] = -1
-			e.flowBuf[v32] = flow{}
+		for _, v32 := range e.scratch.order {
+			e.scratch.depth[v32] = -1
+			e.scratch.parent[v32] = -1
+			e.scratch.flowBuf[v32] = flow{}
 		}
 	}
+	// The per-source resets restored the pool invariant; return the lease.
+	e.scratch.order = e.scratch.order[:0]
+	scratchPool.Put(e.scratch)
+	e.scratch = nil
 }
 
 // bfs fills the evaluator's reusable depth/parent/order buffers.
 func (e *evaluator) bfs(source, ttl int) {
-	e.order = e.order[:0]
-	e.depth[source] = 0
-	e.parent[source] = -1
-	e.order = append(e.order, int32(source))
+	e.scratch.order = e.scratch.order[:0]
+	e.scratch.depth[source] = 0
+	e.scratch.parent[source] = -1
+	e.scratch.order = append(e.scratch.order, int32(source))
 	if ttl == 0 {
 		return
 	}
 	g := e.inst.Graph
 	head := 0
-	for head < len(e.order) {
-		u := int(e.order[head])
+	for head < len(e.scratch.order) {
+		u := int(e.scratch.order[head])
 		head++
-		d := e.depth[u]
+		d := e.scratch.depth[u]
 		if int(d) >= ttl {
 			break // BFS order is depth-monotone; nothing shallower remains
 		}
 		g.VisitNeighbors(u, func(nb int) bool {
-			if e.depth[nb] == -1 {
-				e.depth[nb] = d + 1
-				e.parent[nb] = int32(u)
-				e.order = append(e.order, int32(nb))
+			if e.scratch.depth[nb] == -1 {
+				e.scratch.depth[nb] = d + 1
+				e.scratch.parent[nb] = int32(u)
+				e.scratch.order = append(e.scratch.order, int32(nb))
 			}
 			return true
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/stats"
 	"spnet/internal/workload"
 )
@@ -41,14 +42,58 @@ type TrialSummary struct {
 	ReachPeers      stats.Summary
 }
 
+// trialMetrics are the per-trial scalars RunTrials summarizes.
+type trialMetrics struct {
+	agg, sp, cl               Load
+	results, epl              float64
+	reachClusters, reachPeers float64
+}
+
 // RunTrials generates `trials` independent instances of cfg (profile nil
 // selects the default workload), evaluates each, and summarizes the results
 // with 95% confidence intervals. Trial t uses an RNG stream derived from
 // (seed, t), so individual trials are reproducible regardless of order.
+// Trials are evaluated in parallel on GOMAXPROCS workers; see
+// RunTrialsWorkers for an explicit worker count.
 func RunTrials(cfg network.Config, prof *workload.Profile, trials int, seed uint64) (*TrialSummary, error) {
+	return RunTrialsWorkers(cfg, prof, trials, seed, 0)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit worker count (0 =
+// GOMAXPROCS). Each trial is an independent task keyed by its pre-split RNG
+// stream and the summaries accumulate in trial order, so the output is
+// bit-identical to the serial path (workers = 1) at any worker count.
+func RunTrialsWorkers(cfg network.Config, prof *workload.Profile, trials int, seed uint64, workers int) (*TrialSummary, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("analysis: trials = %d, want > 0", trials)
 	}
+	// Split the per-trial streams sequentially: Split advances the root
+	// generator, so stream assignment must not depend on scheduling.
+	root := stats.NewRNG(seed)
+	rngs := make([]*stats.RNG, trials)
+	for t := range rngs {
+		rngs[t] = root.Split(uint64(t))
+	}
+	mets, err := parallel.Map(workers, trials, func(t int) (trialMetrics, error) {
+		inst, err := network.Generate(cfg, prof, rngs[t])
+		if err != nil {
+			return trialMetrics{}, fmt.Errorf("analysis: trial %d: %w", t, err)
+		}
+		res := Evaluate(inst)
+		return trialMetrics{
+			agg:           res.AggregateLoad(),
+			sp:            res.MeanSuperPeerLoad(),
+			cl:            res.MeanClientLoad(),
+			results:       res.ResultsPerQuery,
+			epl:           res.EPL,
+			reachClusters: res.MeanReachClusters,
+			reachPeers:    res.MeanReachPeers,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var (
 		aggIn, aggOut, aggProc    []float64
 		spIn, spOut, spProc       []float64
@@ -56,33 +101,23 @@ func RunTrials(cfg network.Config, prof *workload.Profile, trials int, seed uint
 		results, epl              []float64
 		reachClusters, reachPeers []float64
 	)
-	root := stats.NewRNG(seed)
-	for t := 0; t < trials; t++ {
-		inst, err := network.Generate(cfg, prof, root.Split(uint64(t)))
-		if err != nil {
-			return nil, fmt.Errorf("analysis: trial %d: %w", t, err)
-		}
-		res := Evaluate(inst)
+	for _, m := range mets {
+		aggIn = append(aggIn, m.agg.InBps)
+		aggOut = append(aggOut, m.agg.OutBps)
+		aggProc = append(aggProc, m.agg.ProcHz)
 
-		agg := res.AggregateLoad()
-		aggIn = append(aggIn, agg.InBps)
-		aggOut = append(aggOut, agg.OutBps)
-		aggProc = append(aggProc, agg.ProcHz)
+		spIn = append(spIn, m.sp.InBps)
+		spOut = append(spOut, m.sp.OutBps)
+		spProc = append(spProc, m.sp.ProcHz)
 
-		spl := res.MeanSuperPeerLoad()
-		spIn = append(spIn, spl.InBps)
-		spOut = append(spOut, spl.OutBps)
-		spProc = append(spProc, spl.ProcHz)
+		clIn = append(clIn, m.cl.InBps)
+		clOut = append(clOut, m.cl.OutBps)
+		clProc = append(clProc, m.cl.ProcHz)
 
-		cll := res.MeanClientLoad()
-		clIn = append(clIn, cll.InBps)
-		clOut = append(clOut, cll.OutBps)
-		clProc = append(clProc, cll.ProcHz)
-
-		results = append(results, res.ResultsPerQuery)
-		epl = append(epl, res.EPL)
-		reachClusters = append(reachClusters, res.MeanReachClusters)
-		reachPeers = append(reachPeers, res.MeanReachPeers)
+		results = append(results, m.results)
+		epl = append(epl, m.epl)
+		reachClusters = append(reachClusters, m.reachClusters)
+		reachPeers = append(reachPeers, m.reachPeers)
 	}
 	return &TrialSummary{
 		Config: cfg,

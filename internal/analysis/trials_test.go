@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"spnet/internal/network"
@@ -103,5 +104,27 @@ func TestTrialVarianceIsModest(t *testing.T) {
 	}
 	if ci := sum.Aggregate.InBps.CI95 / sum.Aggregate.InBps.Mean; ci > 0.25 {
 		t.Errorf("aggregate CI half-width is %.0f%% of the mean", ci*100)
+	}
+}
+
+// TestRunTrialsDeterministicAcrossWorkers: the parallel pipeline's guarantee —
+// the same seed produces a bit-identical summary at any worker count, because
+// trial RNG streams are split before dispatch and the reduction runs in trial
+// order.
+func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.GraphSize = 400
+	base, err := RunTrialsWorkers(cfg, nil, 5, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		got, err := RunTrialsWorkers(cfg, nil, 5, 7, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d summary differs from serial:\nserial:   %+v\nparallel: %+v", w, base, got)
+		}
 	}
 }

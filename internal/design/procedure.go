@@ -7,6 +7,7 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/stats"
 	"spnet/internal/topology"
 	"spnet/internal/workload"
@@ -71,6 +72,11 @@ type Options struct {
 	Seed uint64
 	// MaxTTL bounds step 4's TTL escalation (0 = 7, the Gnutella default).
 	MaxTTL int
+	// Workers bounds the candidate-evaluation worker pool (0 = GOMAXPROCS,
+	// 1 = serial). The selected plan is identical at any setting: candidates
+	// evaluate speculatively in worker-sized batches and the batch results
+	// are scanned in the serial search order.
+	Workers int
 }
 
 // Plan is the procedure's output: the chosen configuration, its predicted
@@ -176,12 +182,19 @@ var errConnBudget = errors.New("design: connection budget exceeded")
 // searchClusterSize is step 3: walk cluster sizes from large to small until
 // the individual load constraint is met, preferring the largest feasible
 // cluster (rule #1 minimizes aggregate load with large clusters).
+//
+// Candidates evaluate speculatively in worker-sized batches: every candidate
+// evaluation depends only on (candidate, opts.Seed), never on its
+// predecessors, so a batch can run concurrently and its results be scanned in
+// the serial search order. The first success in scan order wins and the
+// failure memo is updated only for candidates scanned before it — exactly the
+// candidates the serial walk would have tried — so the outcome (and the memo
+// carried to higher TTLs) is identical at any worker count.
 func searchClusterSize(size, reach, ttl int, cons Constraints, opts Options, trials int,
 	failed map[candidateKey]bool, logf func(string, ...any)) (network.Config, *analysis.TrialSummary, error) {
 
-	candidates := clusterSizeCandidates(size)
-	sawConnBudgetFailure := false
-	for _, cs := range candidates {
+	var cands []candidateKey
+	for _, cs := range clusterSizeCandidates(size) {
 		for _, redundant := range redundancyOrder(cons.AllowRedundancy) {
 			if redundant && cs < 2 {
 				continue
@@ -189,21 +202,40 @@ func searchClusterSize(size, reach, ttl int, cons Constraints, opts Options, tri
 			if failed[candidateKey{cs, redundant}] {
 				continue
 			}
-			cfg, pred, err := tryCandidate(size, reach, ttl, cs, redundant, cons, opts, trials)
+			cands = append(cands, candidateKey{cs, redundant})
+		}
+	}
+
+	type outcome struct {
+		cfg  network.Config
+		pred *analysis.TrialSummary
+		err  error
+	}
+	sawConnBudgetFailure := false
+	batch := parallel.Workers(opts.Workers)
+	for start := 0; start < len(cands); start += batch {
+		end := min(start+batch, len(cands))
+		chunk := cands[start:end]
+		outs, _ := parallel.Map(opts.Workers, len(chunk), func(i int) (outcome, error) {
+			cfg, pred, err := tryCandidate(size, reach, ttl, chunk[i].cs, chunk[i].redundant, cons, opts, trials)
+			return outcome{cfg, pred, err}, nil
+		})
+		for i, out := range outs {
+			c := chunk[i]
 			switch {
-			case err == nil:
+			case out.err == nil:
 				logf("step 3: cluster size %d (redundant=%v) outdegree %.0f meets limits: sp in %.3g bps, out %.3g bps, proc %.3g Hz",
-					cs, redundant, cfg.AvgOutdegree, pred.SuperPeer.InBps.Mean,
-					pred.SuperPeer.OutBps.Mean, pred.SuperPeer.ProcHz.Mean)
-				return cfg, pred, nil
-			case errors.Is(err, errConnBudget):
+					c.cs, c.redundant, out.cfg.AvgOutdegree, out.pred.SuperPeer.InBps.Mean,
+					out.pred.SuperPeer.OutBps.Mean, out.pred.SuperPeer.ProcHz.Mean)
+				return out.cfg, out.pred, nil
+			case errors.Is(out.err, errConnBudget):
 				sawConnBudgetFailure = true
-			case errors.Is(err, errLoadLimit):
-				failed[candidateKey{cs, redundant}] = true
-			case errors.Is(err, errReachImpossible):
+			case errors.Is(out.err, errLoadLimit):
+				failed[c] = true
+			case errors.Is(out.err, errReachImpossible):
 				// keep searching smaller clusters / redundancy
 			default:
-				return network.Config{}, nil, err
+				return network.Config{}, nil, out.err
 			}
 		}
 	}
@@ -296,7 +328,7 @@ func tryCandidate(size, reach, ttl, cs int, redundant bool, cons Constraints, op
 				continue
 			}
 		}
-		pred, err := analysis.RunTrials(cfg, opts.Profile, trials, opts.Seed)
+		pred, err := analysis.RunTrialsWorkers(cfg, opts.Profile, trials, opts.Seed, opts.Workers)
 		if err != nil {
 			return network.Config{}, nil, err
 		}

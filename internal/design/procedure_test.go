@@ -2,6 +2,7 @@ package design
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"spnet/internal/analysis"
@@ -131,5 +132,27 @@ func TestUtilization(t *testing.T) {
 	}
 	if got := Utilization(analysis.Load{InBps: 5}, analysis.Load{}); got != 0 {
 		t.Errorf("zero limit should give 0, got %v", got)
+	}
+}
+
+// TestDesignDeterministicAcrossWorkers: the procedure selects the identical
+// plan at any worker count — chunked speculative candidate evaluation scans
+// results in serial order, so the first success and the failure memo match a
+// serial run exactly.
+func TestDesignDeterministicAcrossWorkers(t *testing.T) {
+	goals := Goals{NetworkSize: 2000, DesiredReach: 400}
+	cons := gnutellaConstraints()
+	base, err := Run(goals, cons, Options{Trials: 1, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		got, err := Run(goals, cons, Options{Trials: 1, Seed: 3, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d plan differs from serial:\nserial:   %+v\nparallel: %+v", w, base, got)
+		}
 	}
 }

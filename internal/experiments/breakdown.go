@@ -5,6 +5,7 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -35,13 +36,18 @@ func runBreakdown(p Params) (*Report, error) {
 
 	bwRows := make([][]string, 0, len(configs))
 	procRows := make([][]string, 0, len(configs))
-	for i, c := range configs {
-		inst, err := network.Generate(c.cfg, nil, stats.NewRNG(p.Seed+uint64(i)))
+	bds, err := parallel.Map(p.Workers, len(configs), func(i int) (analysis.Breakdown, error) {
+		inst, err := network.Generate(configs[i].cfg, nil, stats.NewRNG(p.Seed+uint64(i)))
 		if err != nil {
-			return nil, err
+			return analysis.Breakdown{}, err
 		}
-		res := analysis.Evaluate(inst)
-		bd := res.LoadBreakdown()
+		return analysis.Evaluate(inst).LoadBreakdown(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range configs {
+		bd := bds[i]
 		total := bd.Total()
 
 		pct := func(part, whole float64) string {

@@ -7,6 +7,7 @@ import (
 	"spnet/internal/analysis"
 	"spnet/internal/design"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -57,12 +58,15 @@ func runFig11(p Params) (*Report, error) {
 	size, configs := caseStudyConfigs(p)
 	trials := p.trials(3)
 	rows := make([][]string, 0, len(configs))
+	sums, err := parallel.Map(p.Workers, len(configs), func(i int) (*analysis.TrialSummary, error) {
+		return analysis.RunTrialsWorkers(configs[i].cfg, nil, trials, p.Seed+uint64(i), p.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var todayIn, newIn float64
 	for i, c := range configs {
-		sum, err := analysis.RunTrials(c.cfg, nil, trials, p.Seed+uint64(i))
-		if err != nil {
-			return nil, err
-		}
+		sum := sums[i]
 		if i == 0 {
 			todayIn = sum.Aggregate.InBps.Mean
 		}
@@ -97,7 +101,7 @@ func runFig11(p Params) (*Report, error) {
 		design.Goals{NetworkSize: size, DesiredReach: p.scaled(3000, 300)},
 		design.Constraints{MaxDownBps: 100_000, MaxUpBps: 100_000,
 			MaxProcHz: 10_000_000, MaxConns: 100},
-		design.Options{Trials: 1, Seed: p.Seed},
+		design.Options{Trials: 1, Seed: p.Seed, Workers: p.Workers},
 	)
 	if err != nil {
 		rep.Notes = append(rep.Notes, "design procedure: "+err.Error())
@@ -128,11 +132,11 @@ func runFig11(p Params) (*Report, error) {
 func runFig12(p Params) (*Report, error) {
 	_, configs := caseStudyConfigs(p)
 	percentiles := []float64{0.1, 1, 5, 10, 25, 50, 75, 80, 90, 95, 99, 100}
-	var series []Series
-	for i, c := range configs {
+	series, err := parallel.Map(p.Workers, len(configs), func(i int) (Series, error) {
+		c := configs[i]
 		inst, err := network.Generate(c.cfg, nil, stats.NewRNG(p.Seed+uint64(i)))
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		res := analysis.Evaluate(inst)
 		loads := res.AllNodeLoads()
@@ -147,7 +151,10 @@ func runFig12(p Params) (*Report, error) {
 			s.X = append(s.X, pct)
 			s.Y = append(s.Y, outs[idx])
 		}
-		series = append(series, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		Notes: []string{

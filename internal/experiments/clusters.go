@@ -3,6 +3,7 @@ package experiments
 import (
 	"spnet/internal/analysis"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/workload"
 )
 
@@ -31,38 +32,64 @@ func paperSweepSystems() []sweepSystem {
 type metricFn func(*analysis.TrialSummary) (value, ci float64)
 
 // clusterSweep evaluates the systems over the cluster-size ladder and
-// extracts the metric.
+// extracts the metric. Sweep points are independent (each keys its own seed),
+// so they dispatch to the worker pool and reduce in task order.
 func clusterSweep(p Params, prof *workload.Profile, systems []sweepSystem,
 	sizes []int, graphSize, trials int, metric metricFn) ([]Series, error) {
 
-	out := make([]Series, 0, len(systems))
-	for si, sys := range systems {
-		s := Series{Label: sys.label}
+	type task struct {
+		si, cs int
+	}
+	var tasks []task
+	for si := range systems {
 		for _, cs := range sizes {
-			if sys.redundancy && cs < 2 {
+			if systems[si].redundancy && cs < 2 {
 				continue
 			}
-			cfg := network.Config{
-				GraphType:    sys.graphType,
-				GraphSize:    graphSize,
-				ClusterSize:  cs,
-				Redundancy:   sys.redundancy,
-				AvgOutdegree: sys.outdegree,
-				TTL:          sys.ttl,
+			tasks = append(tasks, task{si, cs})
+		}
+	}
+	type point struct {
+		v, ci float64
+	}
+	pts, err := parallel.Map(p.Workers, len(tasks), func(i int) (point, error) {
+		t := tasks[i]
+		sys := systems[t.si]
+		cfg := network.Config{
+			GraphType:    sys.graphType,
+			GraphSize:    graphSize,
+			ClusterSize:  t.cs,
+			Redundancy:   sys.redundancy,
+			AvgOutdegree: sys.outdegree,
+			TTL:          sys.ttl,
+		}
+		if cfg.GraphType == network.PowerLaw && float64(cfg.NumClusters()-1) < cfg.AvgOutdegree {
+			// Too few clusters to sustain the suggested outdegree: the
+			// overlay degenerates to (nearly) a clique.
+			cfg.GraphType = network.Strong
+		}
+		sum, err := analysis.RunTrialsWorkers(cfg, prof, trials,
+			p.Seed+uint64(t.si)*1000+uint64(t.cs), p.Workers)
+		if err != nil {
+			return point{}, err
+		}
+		v, ci := metric(sum)
+		return point{v, ci}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Series, 0, len(systems))
+	for si := range systems {
+		s := Series{Label: systems[si].label}
+		for i, t := range tasks {
+			if t.si != si {
+				continue
 			}
-			if cfg.GraphType == network.PowerLaw && float64(cfg.NumClusters()-1) < cfg.AvgOutdegree {
-				// Too few clusters to sustain the suggested outdegree: the
-				// overlay degenerates to (nearly) a clique.
-				cfg.GraphType = network.Strong
-			}
-			sum, err := analysis.RunTrials(cfg, prof, trials, p.Seed+uint64(si)*1000+uint64(cs))
-			if err != nil {
-				return nil, err
-			}
-			v, ci := metric(sum)
-			s.X = append(s.X, float64(cs))
-			s.Y = append(s.Y, v)
-			s.YErr = append(s.YErr, ci)
+			s.X = append(s.X, float64(t.cs))
+			s.Y = append(s.Y, pts[i].v)
+			s.YErr = append(s.YErr, pts[i].ci)
 		}
 		out = append(out, s)
 	}

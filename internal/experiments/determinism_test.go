@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestRunDeterministicAcrossWorkers: the rendered report of a sweep is
+// byte-identical at Workers=1, Workers=4 and Workers=GOMAXPROCS — the
+// pipeline's determinism guarantee, end to end through Format.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"fig4", "fig7", "fig9", "kredundancy"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			p := quick()
+			p.Workers = 1
+			rep, err := Run(id, p)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			base := Format(rep)
+			for _, w := range []int{4, 0} {
+				p.Workers = w
+				rep, err := Run(id, p)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := Format(rep); got != base {
+					t.Errorf("workers=%d report differs from serial run", w)
+				}
+			}
+		})
+	}
+}

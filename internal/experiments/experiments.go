@@ -22,6 +22,11 @@ type Params struct {
 	Trials int
 	// Seed for all randomness.
 	Seed uint64
+	// Workers bounds the evaluation worker pool (0 = GOMAXPROCS, 1 =
+	// serial). Every sweep produces bit-identical output at any setting:
+	// tasks are enumerated and their RNG streams split before dispatch, and
+	// results reduce in task order.
+	Workers int
 }
 
 func (p Params) scale() float64 {

@@ -5,6 +5,7 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 )
 
 // runKRedundancy is an extension beyond the paper's evaluation: the paper
@@ -18,25 +19,30 @@ func runKRedundancy(p Params) (*Report, error) {
 	graphSize := p.scaled(10000, 1000)
 	const clusterSize = 100
 	rows := make([][]string, 0, 4)
-	var baseSP, baseAgg float64
-	for k := 1; k <= 4; k++ {
+	// All four k values evaluate concurrently; the k=1 baseline the relative
+	// columns need is read from the ordered results afterwards.
+	sums, err := parallel.Map(p.Workers, 4, func(i int) (*analysis.TrialSummary, error) {
 		cfg := network.Config{
 			GraphType:   network.Strong,
 			GraphSize:   graphSize,
 			ClusterSize: clusterSize,
-			KRedundancy: k,
+			KRedundancy: i + 1,
 			TTL:         1,
 		}
-		sum, err := analysis.RunTrials(cfg, nil, p.trials(5), p.Seed+uint64(k))
-		if err != nil {
-			return nil, err
-		}
+		return analysis.RunTrialsWorkers(cfg, nil, p.trials(5), p.Seed+uint64(i+1), p.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseSP, baseAgg float64
+	for i, sum := range sums {
+		k := i + 1
 		spBW := sum.SuperPeer.InBps.Mean + sum.SuperPeer.OutBps.Mean
 		aggBW := sum.Aggregate.InBps.Mean + sum.Aggregate.OutBps.Mean
 		if k == 1 {
 			baseSP, baseAgg = spBW, aggBW
 		}
-		clusters := cfg.NumClusters()
+		clusters := sum.Config.NumClusters()
 		conns := (clusterSize - k) + (clusters-1)*k + (k - 1)
 		rows = append(rows, []string{
 			fmt.Sprint(k),

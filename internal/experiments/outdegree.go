@@ -5,6 +5,7 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -21,19 +22,38 @@ func outdegreeHistogram(p Params, avgOutdeg float64, ttl int, label string,
 		TTL:          ttl,
 	}
 	trials := p.trials(3)
-	var keys []int
-	var vals []float64
+	// Per-trial streams split sequentially; trials evaluate on the pool and
+	// their samples concatenate in trial order.
 	root := stats.NewRNG(p.Seed + uint64(avgOutdeg*10) + uint64(ttl))
-	for t := 0; t < trials; t++ {
-		inst, err := network.Generate(cfg, nil, root.Split(uint64(t)))
+	rngs := make([]*stats.RNG, trials)
+	for t := range rngs {
+		rngs[t] = root.Split(uint64(t))
+	}
+	type samples struct {
+		keys []int
+		vals []float64
+	}
+	perTrial, err := parallel.Map(p.Workers, trials, func(t int) (samples, error) {
+		inst, err := network.Generate(cfg, nil, rngs[t])
 		if err != nil {
-			return Series{}, err
+			return samples{}, err
 		}
 		res := analysis.Evaluate(inst)
+		var s samples
 		for v := range inst.Clusters {
-			keys = append(keys, inst.Graph.Degree(v))
-			vals = append(vals, value(res, v))
+			s.keys = append(s.keys, inst.Graph.Degree(v))
+			s.vals = append(s.vals, value(res, v))
 		}
+		return s, nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	var keys []int
+	var vals []float64
+	for _, s := range perTrial {
+		keys = append(keys, s.keys...)
+		vals = append(vals, s.vals...)
 	}
 	buckets := stats.GroupByKey(keys, vals)
 	if label == "" {
@@ -125,21 +145,24 @@ func runTableD2(p Params) (*Report, error) {
 	if clusterSize < 2 {
 		clusterSize = 2
 	}
-	for _, d := range []float64{3.1, 10} {
+	outdegs := []float64{3.1, 10}
+	sums, err := parallel.Map(p.Workers, len(outdegs), func(i int) (*analysis.TrialSummary, error) {
 		cfg := network.Config{
 			GraphType:    network.PowerLaw,
 			GraphSize:    graphSize,
 			ClusterSize:  clusterSize,
-			AvgOutdegree: d,
+			AvgOutdegree: outdegs[i],
 			TTL:          7,
 		}
-		sum, err := analysis.RunTrials(cfg, nil, p.trials(3), p.Seed+uint64(d))
-		if err != nil {
-			return nil, err
-		}
+		return analysis.RunTrialsWorkers(cfg, nil, p.trials(3), p.Seed+uint64(outdegs[i]), p.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
 		loads = append(loads, sum.Aggregate)
 		rows = append(rows, []string{
-			fmt.Sprintf("%.1f", d),
+			fmt.Sprintf("%.1f", outdegs[i]),
 			fmtEng(sum.Aggregate.InBps.Mean),
 			fmtEng(sum.Aggregate.OutBps.Mean),
 			fmtEng(sum.Aggregate.ProcHz.Mean),
@@ -160,9 +183,12 @@ func runTableD2(p Params) (*Report, error) {
 // because the EPL has plateaued while redundant queries keep growing.
 func runFigA15(p Params) (*Report, error) {
 	graphSize := p.scaled(10000, 2500)
-	var series []Series
+	type task struct {
+		d   float64
+		cfg network.Config
+	}
+	var tasks []task
 	for _, d := range []float64{50, 100} {
-		s := Series{Label: fmt.Sprintf("Avg Outdeg=%.1f", d)}
 		for _, cs := range []int{5, 10, 20, 50, 100} {
 			cfg := network.Config{
 				GraphType:    network.PowerLaw,
@@ -174,13 +200,27 @@ func runFigA15(p Params) (*Report, error) {
 			if float64(cfg.NumClusters()-1) < d {
 				continue // too few clusters for this outdegree
 			}
-			sum, err := analysis.RunTrials(cfg, nil, p.trials(3), p.Seed+uint64(d)+uint64(cs))
-			if err != nil {
-				return nil, err
+			tasks = append(tasks, task{d, cfg})
+		}
+	}
+	sums, err := parallel.Map(p.Workers, len(tasks), func(i int) (*analysis.TrialSummary, error) {
+		t := tasks[i]
+		return analysis.RunTrialsWorkers(t.cfg, nil, p.trials(3),
+			p.Seed+uint64(t.d)+uint64(t.cfg.ClusterSize), p.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var series []Series
+	for _, d := range []float64{50, 100} {
+		s := Series{Label: fmt.Sprintf("Avg Outdeg=%.1f", d)}
+		for i, t := range tasks {
+			if t.d != d {
+				continue
 			}
-			s.X = append(s.X, float64(cs))
-			s.Y = append(s.Y, sum.SuperPeer.OutBps.Mean)
-			s.YErr = append(s.YErr, sum.SuperPeer.OutBps.CI95)
+			s.X = append(s.X, float64(t.cfg.ClusterSize))
+			s.Y = append(s.Y, sums[i].SuperPeer.OutBps.Mean)
+			s.YErr = append(s.YErr, sums[i].SuperPeer.OutBps.CI95)
 		}
 		series = append(series, s)
 	}

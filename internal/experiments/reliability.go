@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/sim"
 	"spnet/internal/stats"
 )
@@ -37,37 +38,51 @@ func runReliability(p Params) (*Report, error) {
 		duration = 1200 // keep tiny-scale (benchmark) runs fast
 	}
 
-	var rows [][]string
-	for _, reg := range regimes {
+	// The regime × k grid: every cell generates and simulates independently
+	// (seeds depend only on k), so all six run concurrently.
+	type cell struct {
+		regime int
+		k      int
+	}
+	var cells []cell
+	for ri := range regimes {
 		for k := 1; k <= 3; k++ {
-			c := cfg
-			c.KRedundancy = k
-			inst, err := network.Generate(c, nil, stats.NewRNG(p.Seed+uint64(k)))
-			if err != nil {
-				return nil, err
-			}
-			m, err := sim.Run(inst, sim.Options{
-				Duration: duration,
-				Seed:     p.Seed + 100 + uint64(k),
-				Failures: &sim.FailureOptions{MTBF: reg.mtbf, RecoveryDelay: reg.recovery},
-			})
-			if err != nil {
-				return nil, err
-			}
-			total := m.QueriesIssued + m.ClientQueriesLost
-			frac := 0.0
-			if total > 0 {
-				frac = float64(m.ClientQueriesLost) / float64(total)
-			}
-			rows = append(rows, []string{
-				reg.label,
-				fmt.Sprint(k),
-				fmt.Sprint(m.FailuresInjected),
-				fmt.Sprint(m.ClientQueriesLost),
-				fmt.Sprintf("%.2f%%", 100*frac),
-				fmt.Sprintf("%.1f", m.ResultsPerQuery),
-			})
+			cells = append(cells, cell{ri, k})
 		}
+	}
+	rows, err := parallel.Map(p.Workers, len(cells), func(i int) ([]string, error) {
+		reg := regimes[cells[i].regime]
+		k := cells[i].k
+		c := cfg
+		c.KRedundancy = k
+		inst, err := network.Generate(c, nil, stats.NewRNG(p.Seed+uint64(k)))
+		if err != nil {
+			return nil, err
+		}
+		m, err := sim.Run(inst, sim.Options{
+			Duration: duration,
+			Seed:     p.Seed + 100 + uint64(k),
+			Failures: &sim.FailureOptions{MTBF: reg.mtbf, RecoveryDelay: reg.recovery},
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := m.QueriesIssued + m.ClientQueriesLost
+		frac := 0.0
+		if total > 0 {
+			frac = float64(m.ClientQueriesLost) / float64(total)
+		}
+		return []string{
+			reg.label,
+			fmt.Sprint(k),
+			fmt.Sprint(m.FailuresInjected),
+			fmt.Sprint(m.ClientQueriesLost),
+			fmt.Sprintf("%.2f%%", 100*frac),
+			fmt.Sprintf("%.1f", m.ResultsPerQuery),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Report{
 		Notes: []string{

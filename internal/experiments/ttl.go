@@ -7,6 +7,7 @@ import (
 	"spnet/internal/analysis"
 	"spnet/internal/design"
 	"spnet/internal/network"
+	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -21,25 +22,46 @@ func runFig9(p Params) (*Report, error) {
 	trials := p.trials(3)
 	rng := stats.NewRNG(p.Seed + 9)
 
+	// Enumerate the (reach, outdegree) grid and split each point's RNG
+	// stream sequentially — Split advances rng, so assignment happens before
+	// dispatch to the pool.
+	type task struct {
+		reach int
+		d     float64
+		rng   *stats.RNG
+	}
+	var tasks []task
+	for _, reach := range reaches {
+		if reach > n {
+			continue
+		}
+		for _, d := range outdegs {
+			if d >= float64(n-1) {
+				continue
+			}
+			tasks = append(tasks, task{reach, d, rng.Split(uint64(reach)*100 + uint64(d))})
+		}
+	}
+	epls, err := parallel.Map(p.Workers, len(tasks), func(i int) (float64, error) {
+		t := tasks[i]
+		return design.MeasureEPL(n, t.d, t.reach, trials, t.rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var series []Series
 	for _, reach := range reaches {
 		if reach > n {
 			continue
 		}
 		s := Series{Label: fmt.Sprintf("reach=%d", reach)}
-		for _, d := range outdegs {
-			if d >= float64(n-1) {
+		for i, t := range tasks {
+			if t.reach != reach || math.IsNaN(epls[i]) {
 				continue
 			}
-			epl, err := design.MeasureEPL(n, d, reach, trials, rng.Split(uint64(reach)*100+uint64(d)))
-			if err != nil {
-				return nil, err
-			}
-			if math.IsNaN(epl) {
-				continue
-			}
-			s.X = append(s.X, d)
-			s.Y = append(s.Y, epl)
+			s.X = append(s.X, t.d)
+			s.Y = append(s.Y, epls[i])
 		}
 		series = append(series, s)
 	}
@@ -58,31 +80,34 @@ func runFig9(p Params) (*Report, error) {
 func runRule4(p Params) (*Report, error) {
 	size := p.scaled(10000, 2000)
 	rows := make([][]string, 0, 2)
-	var in3, in4 float64
-	for _, ttl := range []int{3, 4} {
+	ttls := []int{3, 4}
+	sums, err := parallel.Map(p.Workers, len(ttls), func(i int) (*analysis.TrialSummary, error) {
 		cfg := network.Config{
 			GraphType:    network.PowerLaw,
 			GraphSize:    size,
 			ClusterSize:  10,
 			AvgOutdegree: 20,
-			TTL:          ttl,
+			TTL:          ttls[i],
 		}
-		sum, err := analysis.RunTrials(cfg, nil, p.trials(3), p.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if ttl == 3 {
+		return analysis.RunTrialsWorkers(cfg, nil, p.trials(3), p.Seed, p.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var in3, in4 float64
+	for i, sum := range sums {
+		if ttls[i] == 3 {
 			in3 = sum.Aggregate.InBps.Mean
 		} else {
 			in4 = sum.Aggregate.InBps.Mean
 		}
 		rows = append(rows, []string{
-			fmt.Sprint(ttl),
+			fmt.Sprint(ttls[i]),
 			fmtEng(sum.Aggregate.InBps.Mean),
 			fmtEng(sum.Aggregate.OutBps.Mean),
 			fmtEng(sum.Aggregate.ProcHz.Mean),
 			fmt.Sprintf("%.1f", sum.ResultsPerQuery.Mean),
-			fmt.Sprintf("%.0f / %d", sum.ReachClusters.Mean, cfg.NumClusters()),
+			fmt.Sprintf("%.0f / %d", sum.ReachClusters.Mean, sum.Config.NumClusters()),
 		})
 	}
 	saving := 1 - in3/in4

@@ -91,6 +91,13 @@ type Node struct {
 	nextOwn int
 	closed  bool
 
+	// Admission counts, maintained at register/unregister time. The
+	// clients/peers maps are only populated later (on Join / in runPeer), so
+	// capacity must be enforced on these counters to make check-and-admit
+	// atomic — otherwise concurrent handshakes slip past MaxClients/MaxPeers.
+	nClients int
+	nPeers   int
+
 	wg   sync.WaitGroup
 	stop chan struct{}
 }
@@ -231,18 +238,25 @@ func (n *Node) serve(c net.Conn) {
 }
 
 // register admits a connection into the tracked set, enforcing the role's
-// capacity limit.
+// capacity limit. The check and the reservation happen under one lock
+// acquisition, so two concurrent handshakes can never both slip under the
+// limit.
 func (n *Node) register(c *conn, isClient bool) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return false
 	}
-	if isClient && len(n.clients) >= n.opts.MaxClients {
-		return false
-	}
-	if !isClient && len(n.peers) >= n.opts.MaxPeers {
-		return false
+	if isClient {
+		if n.nClients >= n.opts.MaxClients {
+			return false
+		}
+		n.nClients++
+	} else {
+		if n.nPeers >= n.opts.MaxPeers {
+			return false
+		}
+		n.nPeers++
 	}
 	n.conns[c] = struct{}{}
 	return true
@@ -250,7 +264,14 @@ func (n *Node) register(c *conn, isClient bool) bool {
 
 func (n *Node) unregister(c *conn) {
 	n.mu.Lock()
-	delete(n.conns, c)
+	if _, ok := n.conns[c]; ok {
+		delete(n.conns, c)
+		if c.isClient {
+			n.nClients--
+		} else {
+			n.nPeers--
+		}
+	}
 	n.mu.Unlock()
 }
 

@@ -1,0 +1,104 @@
+// Package parallel is the deterministic evaluation substrate shared by the
+// analysis, experiments and design layers: a bounded worker pool with ordered
+// fan-in. Callers enumerate independent tasks up front (deriving any RNG
+// streams sequentially, so stream assignment never depends on scheduling),
+// the pool evaluates them on up to Workers goroutines, and results land in
+// task order — making every consumer bit-identical to its serial equivalent
+// at any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count override: n when n > 0, otherwise
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to Workers(workers)
+// goroutines and returns the error of the lowest-indexed failing task, or
+// nil. Indices are claimed in increasing order and claiming stops after a
+// failure, so the reported error does not depend on worker count or
+// scheduling: every task below the failing index has already been claimed
+// and runs to completion, and any lower-indexed failure among them wins.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map evaluates fn over [0, n) with bounded parallelism and returns the
+// results in index order. On error the partial results are discarded and the
+// lowest-indexed task error is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 0} {
+		got, err := Map(w, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	calls := 0
+	if err := ForEach(4, 0, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("fn called %d times for n=0", calls)
+	}
+}
+
+// TestLowestIndexErrorWins: the reported error must be the lowest-indexed
+// failure regardless of worker count — the same error the serial loop would
+// return.
+func TestLowestIndexErrorWins(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	for _, w := range []int{1, 2, 8} {
+		err := ForEach(w, 50, func(i int) error {
+			if i == 7 || i == 31 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Errorf("workers=%d: err = %v, want task 7 failed", w, err)
+		}
+	}
+}
+
+// TestConcurrencyBounded checks the pool never runs more than the requested
+// number of tasks at once.
+func TestConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := ForEach(workers, 64, func(int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d > %d workers", p, workers)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if out != nil {
+		t.Errorf("partial results returned on error")
+	}
+}

@@ -119,9 +119,18 @@ type Breakdown = analysis.Breakdown
 type TrialSummary = analysis.TrialSummary
 
 // RunTrials generates and evaluates `trials` independent instances of cfg
-// and summarizes the results with 95% confidence intervals.
+// and summarizes the results with 95% confidence intervals. Trials evaluate
+// in parallel on GOMAXPROCS workers; the output is bit-identical to a serial
+// run (each trial is keyed by its own pre-split RNG stream and the summary
+// reduces in trial order).
 func RunTrials(cfg Config, prof *Profile, trials int, seed uint64) (*TrialSummary, error) {
 	return analysis.RunTrials(cfg, prof, trials, seed)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). Output is identical at any setting.
+func RunTrialsWorkers(cfg Config, prof *Profile, trials int, seed uint64, workers int) (*TrialSummary, error) {
+	return analysis.RunTrialsWorkers(cfg, prof, trials, seed, workers)
 }
 
 // Goals, Constraints, DesignOptions and Plan parameterize the global design
