@@ -24,8 +24,9 @@ func main() {
 		trials  = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
-		list    = flag.Bool("list", false, "list the available experiments")
-		csvDir  = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory")
+		list     = flag.Bool("list", false, "list the available experiments")
+		csvDir   = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory")
+		progress = flag.Bool("progress", false, "report per-sweep progress on stderr while experiments run")
 	)
 	flag.Parse()
 
@@ -49,6 +50,15 @@ func main() {
 	}
 	failed := false
 	for _, id := range ids {
+		if *progress {
+			id := id
+			params.Progress = func(stage string, done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %s %d/%d", id, stage, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		start := time.Now()
 		rep, err := spnet.RunExperiment(id, params)
 		if err != nil {

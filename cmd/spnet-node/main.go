@@ -37,10 +37,23 @@ func main() {
 		query   = flag.String("query", "", "run this keyword query from the node itself, print results, and exit")
 		wait    = flag.Duration("wait", 2*time.Second, "how long to collect results for -query")
 		verbose = flag.Bool("v", false, "log protocol diagnostics")
+
+		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "TCP dial timeout for peer connections")
+		handTO    = flag.Duration("handshake-timeout", 10*time.Second, "hello-exchange timeout")
+		writeTO   = flag.Duration("write-timeout", 30*time.Second, "per-message write timeout")
+		hbEvery   = flag.Duration("heartbeat", 5*time.Second, "overlay heartbeat interval (0 disables)")
+		hbTimeout = flag.Duration("heartbeat-timeout", 0, "silence before a peer is declared dead (0 = 3×heartbeat)")
 	)
 	flag.Parse()
 
-	opts := spnet.NodeOptions{TTL: *ttl, MaxClients: *maxCl, MaxPeers: *maxPeer}
+	opts := spnet.NodeOptions{
+		TTL: *ttl, MaxClients: *maxCl, MaxPeers: *maxPeer,
+		DialTimeout: *dialTO, HandshakeTimeout: *handTO, WriteTimeout: *writeTO,
+		HeartbeatInterval: *hbEvery, HeartbeatTimeout: *hbTimeout,
+	}
+	if *hbEvery == 0 {
+		opts.HeartbeatInterval = -1 // flag 0 means off; Options treats 0 as "default"
+	}
 	if *verbose {
 		opts.Logf = log.Printf
 	}

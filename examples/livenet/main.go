@@ -1,9 +1,15 @@
-// Livenet: the super-peer network running for real. This example boots a
+// Livenet: the super-peer network running for real. Act one boots a
 // five-super-peer overlay over loopback TCP, attaches clients with file
 // collections, and performs keyword searches — joins ship metadata into
 // inverted indexes, queries flood with a TTL, and Response messages travel
 // the reverse path, exactly the protocol of the paper's Section 3, on the
 // wire format its cost model prices.
+//
+// Act two turns on churn: a k-redundant deployment (paper Section 3.2) where
+// a client's super-peer is killed mid-search. The supervised client backs
+// off, fails over to the redundant partner, re-joins automatically, and its
+// next search succeeds — with the recovery time measured and compared to the
+// recovery the reliability experiment assumes.
 package main
 
 import (
@@ -85,6 +91,81 @@ func main() {
 	time.Sleep(100 * time.Millisecond)
 	fmt.Println("client@2 left (its Deep Blue Delta collection is de-indexed)")
 	search(4, "blue")
+
+	fmt.Println()
+	churnDemo()
+}
+
+// churnDemo is act two: kill a client's super-peer mid-search and watch the
+// k-redundancy failover recover.
+func churnDemo() {
+	fmt.Println("--- churn: killing a super-peer mid-search ---")
+	lv := spnet.NewLiveNetwork(spnet.LiveConfig{Clusters: 2, Partners: 2, Seed: 42})
+	if err := lv.Launch(); err != nil {
+		log.Fatal(err)
+	}
+	defer lv.Close()
+	fmt.Println("live deployment: 2 clusters × 2 redundant partners, fault injection armed")
+
+	provider, err := spnet.DialSuperPeer(lv.ClusterAddrs(1)[0], []spnet.SharedFile{
+		{Index: 1, Title: "Stolen Moments"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer provider.Close()
+
+	// The supervised client ranks its cluster's redundant partners and
+	// reports every failover event.
+	var lostAt, rejoinedAt time.Time
+	cl, err := spnet.DialSuperPeers(spnet.ClientDialOptions{
+		Addrs: lv.ClusterAddrs(0),
+		Seed:  7,
+		Backoff: spnet.ClientBackoff{
+			Initial: 50 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.2,
+		},
+		OnEvent: func(e spnet.ClientEvent) {
+			switch e.Type {
+			case spnet.EventConnLost:
+				lostAt = time.Now()
+				fmt.Println("  event: connection to super-peer lost")
+			case spnet.EventBackoff:
+				fmt.Printf("  event: backing off %v before attempt %d\n", e.Delay, e.Attempt)
+			case spnet.EventReconnected:
+				fmt.Printf("  event: reconnected to redundant partner %s\n", e.Addr)
+			case spnet.EventRejoined:
+				rejoinedAt = time.Now()
+				fmt.Println("  event: collection re-joined on the new super-peer")
+			}
+		},
+	}, []spnet.SharedFile{{Index: 1, Title: "Footprints Live"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(100 * time.Millisecond) // let the join land
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		lv.KillSuperPeer(0, 0)
+		fmt.Println("  super-peer 0/0 killed (the client's current one)")
+	}()
+	if _, err := cl.Search("moments", 1500*time.Millisecond); err != nil {
+		fmt.Printf("  mid-crash search degraded: %v\n", err)
+	}
+
+	results, err := cl.Search("moments", time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("post-failover search -> %d result(s): found %q across the overlay\n",
+		len(results), results[0].Title)
+
+	recovery := rejoinedAt.Sub(lostAt)
+	fmt.Printf("measured recovery (conn lost -> rejoined): %v\n", recovery)
+	fmt.Println("the reliability experiment models recovery as a fixed RecoveryDelay (seconds to")
+	fmt.Println("minutes, dominated by detection and re-provisioning); on loopback, with backoff as")
+	fmt.Println("the only cost, failover to a warm redundant partner is sub-second — the §3.2 payoff.")
 }
 
 func waitIndexed(nodes []*spnet.Node, want int) {

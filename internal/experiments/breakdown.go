@@ -5,7 +5,6 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -36,7 +35,7 @@ func runBreakdown(p Params) (*Report, error) {
 
 	bwRows := make([][]string, 0, len(configs))
 	procRows := make([][]string, 0, len(configs))
-	bds, err := parallel.Map(p.Workers, len(configs), func(i int) (analysis.Breakdown, error) {
+	bds, err := pmap(p, "configurations", len(configs), func(i int) (analysis.Breakdown, error) {
 		inst, err := network.Generate(configs[i].cfg, nil, stats.NewRNG(p.Seed+uint64(i)))
 		if err != nil {
 			return analysis.Breakdown{}, err

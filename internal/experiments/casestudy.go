@@ -7,7 +7,6 @@ import (
 	"spnet/internal/analysis"
 	"spnet/internal/design"
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -58,7 +57,7 @@ func runFig11(p Params) (*Report, error) {
 	size, configs := caseStudyConfigs(p)
 	trials := p.trials(3)
 	rows := make([][]string, 0, len(configs))
-	sums, err := parallel.Map(p.Workers, len(configs), func(i int) (*analysis.TrialSummary, error) {
+	sums, err := pmap(p, "configurations", len(configs), func(i int) (*analysis.TrialSummary, error) {
 		return analysis.RunTrialsWorkers(configs[i].cfg, nil, trials, p.Seed+uint64(i), p.Workers)
 	})
 	if err != nil {
@@ -132,7 +131,7 @@ func runFig11(p Params) (*Report, error) {
 func runFig12(p Params) (*Report, error) {
 	_, configs := caseStudyConfigs(p)
 	percentiles := []float64{0.1, 1, 5, 10, 25, 50, 75, 80, 90, 95, 99, 100}
-	series, err := parallel.Map(p.Workers, len(configs), func(i int) (Series, error) {
+	series, err := pmap(p, "rank curves", len(configs), func(i int) (Series, error) {
 		c := configs[i]
 		inst, err := network.Generate(c.cfg, nil, stats.NewRNG(p.Seed+uint64(i)))
 		if err != nil {

@@ -3,7 +3,6 @@ package experiments
 import (
 	"spnet/internal/analysis"
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 	"spnet/internal/workload"
 )
 
@@ -52,7 +51,7 @@ func clusterSweep(p Params, prof *workload.Profile, systems []sweepSystem,
 	type point struct {
 		v, ci float64
 	}
-	pts, err := parallel.Map(p.Workers, len(tasks), func(i int) (point, error) {
+	pts, err := pmap(p, "cluster sizes", len(tasks), func(i int) (point, error) {
 		t := tasks[i]
 		sys := systems[t.si]
 		cfg := network.Config{

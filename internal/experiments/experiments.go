@@ -11,7 +11,20 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"spnet/internal/parallel"
 )
+
+// pmap is the experiment-layer parallel sweep: parallel.Map under the run's
+// worker bound, with per-sweep progress reported through Params.Progress.
+func pmap[T any](p Params, stage string, n int, fn func(i int) (T, error)) ([]T, error) {
+	if p.Progress == nil {
+		return parallel.Map(p.Workers, n, fn)
+	}
+	return parallel.MapProgress(p.Workers, n, func(done, total int) {
+		p.Progress(stage, done, total)
+	}, fn)
+}
 
 // Params tune an experiment run.
 type Params struct {
@@ -27,6 +40,11 @@ type Params struct {
 	// tasks are enumerated and their RNG streams split before dispatch, and
 	// results reduce in task order.
 	Workers int
+	// Progress, when set, receives per-sweep completion updates: stage
+	// names the sweep within the experiment, done counts completed tasks
+	// out of total. Calls are serialized with done strictly increasing per
+	// sweep; reporting never changes results.
+	Progress func(stage string, done, total int)
 }
 
 func (p Params) scale() float64 {

@@ -5,7 +5,6 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 )
 
 // runKRedundancy is an extension beyond the paper's evaluation: the paper
@@ -21,7 +20,7 @@ func runKRedundancy(p Params) (*Report, error) {
 	rows := make([][]string, 0, 4)
 	// All four k values evaluate concurrently; the k=1 baseline the relative
 	// columns need is read from the ordered results afterwards.
-	sums, err := parallel.Map(p.Workers, 4, func(i int) (*analysis.TrialSummary, error) {
+	sums, err := pmap(p, "redundancy levels", 4, func(i int) (*analysis.TrialSummary, error) {
 		cfg := network.Config{
 			GraphType:   network.Strong,
 			GraphSize:   graphSize,

@@ -5,7 +5,6 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -33,7 +32,7 @@ func outdegreeHistogram(p Params, avgOutdeg float64, ttl int, label string,
 		keys []int
 		vals []float64
 	}
-	perTrial, err := parallel.Map(p.Workers, trials, func(t int) (samples, error) {
+	perTrial, err := pmap(p, "trials", trials, func(t int) (samples, error) {
 		inst, err := network.Generate(cfg, nil, rngs[t])
 		if err != nil {
 			return samples{}, err
@@ -146,7 +145,7 @@ func runTableD2(p Params) (*Report, error) {
 		clusterSize = 2
 	}
 	outdegs := []float64{3.1, 10}
-	sums, err := parallel.Map(p.Workers, len(outdegs), func(i int) (*analysis.TrialSummary, error) {
+	sums, err := pmap(p, "outdegrees", len(outdegs), func(i int) (*analysis.TrialSummary, error) {
 		cfg := network.Config{
 			GraphType:    network.PowerLaw,
 			GraphSize:    graphSize,
@@ -203,7 +202,7 @@ func runFigA15(p Params) (*Report, error) {
 			tasks = append(tasks, task{d, cfg})
 		}
 	}
-	sums, err := parallel.Map(p.Workers, len(tasks), func(i int) (*analysis.TrialSummary, error) {
+	sums, err := pmap(p, "configurations", len(tasks), func(i int) (*analysis.TrialSummary, error) {
 		t := tasks[i]
 		return analysis.RunTrialsWorkers(t.cfg, nil, p.trials(3),
 			p.Seed+uint64(t.d)+uint64(t.cfg.ClusterSize), p.Workers)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 	"spnet/internal/sim"
 	"spnet/internal/stats"
 )
@@ -50,7 +49,7 @@ func runReliability(p Params) (*Report, error) {
 			cells = append(cells, cell{ri, k})
 		}
 	}
-	rows, err := parallel.Map(p.Workers, len(cells), func(i int) ([]string, error) {
+	rows, err := pmap(p, "failure regimes", len(cells), func(i int) ([]string, error) {
 		reg := regimes[cells[i].regime]
 		k := cells[i].k
 		c := cfg

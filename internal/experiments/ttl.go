@@ -7,7 +7,6 @@ import (
 	"spnet/internal/analysis"
 	"spnet/internal/design"
 	"spnet/internal/network"
-	"spnet/internal/parallel"
 	"spnet/internal/stats"
 )
 
@@ -42,7 +41,7 @@ func runFig9(p Params) (*Report, error) {
 			tasks = append(tasks, task{reach, d, rng.Split(uint64(reach)*100 + uint64(d))})
 		}
 	}
-	epls, err := parallel.Map(p.Workers, len(tasks), func(i int) (float64, error) {
+	epls, err := pmap(p, "outdegree sweep", len(tasks), func(i int) (float64, error) {
 		t := tasks[i]
 		return design.MeasureEPL(n, t.d, t.reach, trials, t.rng)
 	})
@@ -81,7 +80,7 @@ func runRule4(p Params) (*Report, error) {
 	size := p.scaled(10000, 2000)
 	rows := make([][]string, 0, 2)
 	ttls := []int{3, 4}
-	sums, err := parallel.Map(p.Workers, len(ttls), func(i int) (*analysis.TrialSummary, error) {
+	sums, err := pmap(p, "ttls", len(ttls), func(i int) (*analysis.TrialSummary, error) {
 		cfg := network.Config{
 			GraphType:    network.PowerLaw,
 			GraphSize:    size,

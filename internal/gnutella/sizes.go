@@ -58,6 +58,12 @@ const (
 	// over Gnutella: 12 bytes (paper Table 3). Average query message is
 	// therefore 94 bytes, the figure quoted in Section 4.
 	DefaultQueryStringLen = 12
+
+	// PingLen is the size of a heartbeat Ping or Pong on the wire: framing
+	// plus the bare descriptor header. Heartbeats are a liveness mechanism
+	// of the runnable stack, not part of the paper's cost model, which
+	// prices only query/response/join/update traffic.
+	PingLen = FrameOverhead + DescriptorHeaderLen
 )
 
 // QuerySize returns the on-the-wire size of a query whose string has the
@@ -77,3 +83,6 @@ func JoinSize(numFiles int) int { return JoinFixedLen + MetadataRecordLen*numFil
 
 // UpdateSize returns the on-the-wire size of an Update message: 152 bytes.
 func UpdateSize() int { return UpdateLen }
+
+// PingSize returns the on-the-wire size of a heartbeat Ping or Pong: 79 bytes.
+func PingSize() int { return PingLen }

@@ -14,6 +14,8 @@ type Message interface {
 
 // Compile-time checks that every message satisfies Message.
 var (
+	_ Message = (*Ping)(nil)
+	_ Message = (*Pong)(nil)
 	_ Message = (*Query)(nil)
 	_ Message = (*QueryHit)(nil)
 	_ Message = (*Join)(nil)
@@ -30,6 +32,10 @@ func WriteMessage(w io.Writer, m Message) error {
 	var buf []byte
 	var err error
 	switch msg := m.(type) {
+	case *Ping:
+		buf = msg.Encode()
+	case *Pong:
+		buf = msg.Encode()
 	case *Query:
 		buf = msg.Encode()
 	case *QueryHit:
@@ -71,6 +77,10 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return nil, err
 	}
 	switch h.Type {
+	case TypePing:
+		return DecodePing(buf)
+	case TypePong:
+		return DecodePong(buf)
 	case TypeQuery:
 		return DecodeQuery(buf)
 	case TypeQueryHit:

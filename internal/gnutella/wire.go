@@ -13,6 +13,8 @@ type MsgType byte
 
 // Payload descriptor values.
 const (
+	TypePing     MsgType = 0x00
+	TypePong     MsgType = 0x01
 	TypeQuery    MsgType = 0x80
 	TypeQueryHit MsgType = 0x81
 	TypeJoin     MsgType = 0x10
@@ -21,6 +23,10 @@ const (
 
 func (t MsgType) String() string {
 	switch t {
+	case TypePing:
+		return "Ping"
+	case TypePong:
+		return "Pong"
 	case TypeQuery:
 		return "Query"
 	case TypeQueryHit:
@@ -72,6 +78,75 @@ func decodeHeader(buf []byte) (Header, error) {
 	h.Hops = buf[18]
 	h.PayloadLen = binary.LittleEndian.Uint32(buf[19:23])
 	return h, nil
+}
+
+// Ping is the Gnutella 0.4 keep-alive probe, reused by the live super-peer
+// stack as the heartbeat that detects dead peers and partitioned links. The
+// payload is empty: the descriptor header alone carries the GUID.
+type Ping struct {
+	ID   GUID
+	TTL  uint8
+	Hops uint8
+}
+
+// Encode serializes the ping (descriptor header only, no payload).
+func (p *Ping) Encode() []byte {
+	buf := make([]byte, DescriptorHeaderLen)
+	h := Header{ID: p.ID, Type: TypePing, TTL: p.TTL, Hops: p.Hops}
+	h.encode(buf)
+	return buf
+}
+
+// WireSize returns the on-the-wire size including framing: PingLen.
+func (p *Ping) WireSize() int { return PingSize() }
+
+// DecodePing parses an encoded ping.
+func DecodePing(buf []byte) (*Ping, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypePing {
+		return nil, fmt.Errorf("%w: type %v, want Ping", ErrBadMessage, h.Type)
+	}
+	if h.PayloadLen != 0 || len(buf) != DescriptorHeaderLen {
+		return nil, fmt.Errorf("%w: ping payload %d, want 0", ErrBadMessage, h.PayloadLen)
+	}
+	return &Ping{ID: h.ID, TTL: h.TTL, Hops: h.Hops}, nil
+}
+
+// Pong answers a Ping, echoing its GUID. Like the heartbeat Ping it carries
+// no payload: liveness, not peer discovery, is the information.
+type Pong struct {
+	ID   GUID
+	TTL  uint8
+	Hops uint8
+}
+
+// Encode serializes the pong (descriptor header only, no payload).
+func (p *Pong) Encode() []byte {
+	buf := make([]byte, DescriptorHeaderLen)
+	h := Header{ID: p.ID, Type: TypePong, TTL: p.TTL, Hops: p.Hops}
+	h.encode(buf)
+	return buf
+}
+
+// WireSize returns the on-the-wire size including framing: PingLen.
+func (p *Pong) WireSize() int { return PingSize() }
+
+// DecodePong parses an encoded pong.
+func DecodePong(buf []byte) (*Pong, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypePong {
+		return nil, fmt.Errorf("%w: type %v, want Pong", ErrBadMessage, h.Type)
+	}
+	if h.PayloadLen != 0 || len(buf) != DescriptorHeaderLen {
+		return nil, fmt.Errorf("%w: pong payload %d, want 0", ErrBadMessage, h.PayloadLen)
+	}
+	return &Pong{ID: h.ID, TTL: h.TTL, Hops: h.Hops}, nil
 }
 
 // Query is a keyword search request flooded over the super-peer overlay.

@@ -1,6 +1,7 @@
 package gnutella
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 	"testing"
@@ -264,8 +265,67 @@ func TestTitleTruncation(t *testing.T) {
 	}
 }
 
+func TestPingPongRoundTrip(t *testing.T) {
+	p := &Ping{TTL: 1, Hops: 0}
+	p.ID[3] = 0xcc
+	got, err := DecodePing(p.Encode())
+	if err != nil {
+		t.Fatalf("DecodePing: %v", err)
+	}
+	if *got != *p {
+		t.Errorf("ping round trip: got %+v, want %+v", got, p)
+	}
+	if len(p.Encode())+FrameOverhead != p.WireSize() || p.WireSize() != PingLen {
+		t.Errorf("ping WireSize %d, want %d", p.WireSize(), PingLen)
+	}
+
+	q := &Pong{TTL: 1, Hops: 2}
+	q.ID[7] = 0xdd
+	gotPong, err := DecodePong(q.Encode())
+	if err != nil {
+		t.Fatalf("DecodePong: %v", err)
+	}
+	if *gotPong != *q {
+		t.Errorf("pong round trip: got %+v, want %+v", gotPong, q)
+	}
+
+	// Stream framing: pings and pongs interleave with other traffic.
+	var buf bytes.Buffer
+	for _, m := range []Message{p, &Query{TTL: 3, Text: "x"}, q} {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage(%T): %v", m, err)
+		}
+	}
+	if m, err := ReadMessage(&buf); err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	} else if _, ok := m.(*Ping); !ok {
+		t.Errorf("first message %T, want *Ping", m)
+	}
+	if _, err := ReadMessage(&buf); err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if m, err := ReadMessage(&buf); err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	} else if _, ok := m.(*Pong); !ok {
+		t.Errorf("third message %T, want *Pong", m)
+	}
+}
+
+func TestPingRejectsPayload(t *testing.T) {
+	p := &Ping{}
+	buf := p.Encode()
+	buf[19] = 4 // claim a 4-byte payload
+	if _, err := DecodePing(append(buf, 0, 0, 0, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("ping with payload: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodePong((&Ping{}).Encode()); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("DecodePong of a ping: err = %v, want ErrBadMessage", err)
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	for typ, want := range map[MsgType]string{
+		TypePing: "Ping", TypePong: "Pong",
 		TypeQuery: "Query", TypeQueryHit: "QueryHit",
 		TypeJoin: "Join", TypeUpdate: "Update", MsgType(0x42): "MsgType(0x42)",
 	} {

@@ -1,0 +1,279 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+
+	"spnet/internal/faults"
+	"spnet/internal/p2p"
+)
+
+// LiveConfig shapes a live loopback deployment: real p2p.Node super-peers
+// wired into the paper's redundant-cluster topology, with every connection
+// routed through a faults.Controller so churn is scriptable and
+// deterministic.
+type LiveConfig struct {
+	// Clusters is the number of virtual super-peers on the overlay ring
+	// (default 3).
+	Clusters int
+	// Partners is the k-redundancy level: partners per virtual super-peer
+	// (Section 3.2; default 2).
+	Partners int
+	// Seed drives the fault controller's randomness.
+	Seed uint64
+	// Node is the base configuration applied to every super-peer; its
+	// Wrap/Dial hooks are overwritten to route through the fault
+	// controller.
+	Node p2p.Options
+}
+
+func (c *LiveConfig) setDefaults() {
+	if c.Clusters <= 0 {
+		c.Clusters = 3
+	}
+	if c.Partners <= 0 {
+		c.Partners = 2
+	}
+}
+
+// liveNode is one super-peer slot. The listen address is pinned at launch so
+// a restarted super-peer reappears where clients and peers expect it.
+type liveNode struct {
+	node *p2p.Node // nil while killed
+	addr string
+}
+
+// Live runs a real super-peer network on loopback and orchestrates churn
+// against it: killing and restarting super-peers, partitioning whole
+// clusters, and injecting link faults. Clusters form a ring; all partners of
+// adjacent clusters are fully inter-linked, and partners within a cluster
+// peer with each other, matching the paper's redundancy wiring.
+type Live struct {
+	cfg  LiveConfig
+	ctrl *faults.Controller
+
+	mu     sync.Mutex
+	nodes  [][]*liveNode // [cluster][partner]
+	closed bool
+}
+
+// NewLive builds the harness; call Launch to boot the network.
+func NewLive(cfg LiveConfig) *Live {
+	cfg.setDefaults()
+	return &Live{cfg: cfg, ctrl: faults.NewController(cfg.Seed)}
+}
+
+// label names a super-peer slot for the fault controller.
+func label(cluster, partner int) string { return fmt.Sprintf("sp-%d-%d", cluster, partner) }
+
+// Faults exposes the controller for scripting link faults on top of the
+// topology-level churn operations.
+func (l *Live) Faults() *faults.Controller { return l.ctrl }
+
+// Launch boots every super-peer and wires the overlay. On error the harness
+// is closed.
+func (l *Live) Launch() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nodes != nil {
+		return fmt.Errorf("network: Launch called twice")
+	}
+	l.nodes = make([][]*liveNode, l.cfg.Clusters)
+	for c := range l.nodes {
+		l.nodes[c] = make([]*liveNode, l.cfg.Partners)
+		for p := range l.nodes[c] {
+			ln := &liveNode{node: l.newNode(c, p)}
+			if err := ln.node.Listen("127.0.0.1:0"); err != nil {
+				l.closeLocked()
+				return err
+			}
+			ln.addr = ln.node.Addr()
+			l.nodes[c][p] = ln
+		}
+	}
+	for c := range l.nodes {
+		for p, ln := range l.nodes[c] {
+			if err := l.connectLocked(c, p, ln.node); err != nil {
+				l.closeLocked()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// newNode builds a super-peer whose connections all pass through the fault
+// controller under the slot's label.
+func (l *Live) newNode(cluster, partner int) *p2p.Node {
+	opts := l.cfg.Node
+	lbl := label(cluster, partner)
+	opts.Wrap = l.ctrl.WrapAccept(lbl)
+	opts.Dial = l.ctrl.Dialer(lbl)
+	return p2p.NewNode(opts)
+}
+
+// connectLocked dials n's overlay links: co-partners in its own cluster and
+// every live partner of the ring-adjacent clusters. Only slots "before" the
+// given one are dialed during launch (the later slots dial back), so each
+// link is established exactly once; restarts dial everyone.
+func (l *Live) connectLocked(cluster, partner int, n *p2p.Node) error {
+	dial := func(c, p int) error {
+		tgt := l.nodes[c][p]
+		if tgt == nil || tgt.node == nil || tgt.node == n {
+			return nil
+		}
+		return n.ConnectPeer(tgt.addr)
+	}
+	// Co-partners: the intra-cluster mesh that lets partners hand off.
+	for p := 0; p < partner; p++ {
+		if err := dial(cluster, p); err != nil {
+			return err
+		}
+	}
+	// Ring neighbors, all partners (2k links per neighbor pair — the
+	// redundancy cost Section 3.2 accounts for).
+	if prev := cluster - 1; prev >= 0 {
+		for p := range l.nodes[prev] {
+			if err := dial(prev, p); err != nil {
+				return err
+			}
+		}
+	}
+	// The wrap-around link closes the ring (only for >2 clusters; with 2,
+	// cluster 1's "previous" link already connects the pair).
+	if cluster == l.cfg.Clusters-1 && l.cfg.Clusters > 2 {
+		for p := range l.nodes[0] {
+			if err := dial(0, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reconnectLocked dials every live overlay neighbor of the slot — used after
+// a restart, when no other node will dial back.
+func (l *Live) reconnectLocked(cluster, partner int, n *p2p.Node) error {
+	var errFirst error
+	dialAll := func(c int) {
+		for p, tgt := range l.nodes[c] {
+			if (c == cluster && p == partner) || tgt.node == nil {
+				continue
+			}
+			if err := n.ConnectPeer(tgt.addr); err != nil && errFirst == nil {
+				errFirst = err
+			}
+		}
+	}
+	dialAll(cluster)
+	if l.cfg.Clusters > 1 {
+		dialAll((cluster + 1) % l.cfg.Clusters)
+		if prev := (cluster - 1 + l.cfg.Clusters) % l.cfg.Clusters; prev != (cluster+1)%l.cfg.Clusters {
+			dialAll(prev)
+		}
+	}
+	return errFirst
+}
+
+// ClusterAddrs returns the cluster's ranked partner addresses — the
+// redundant super-peer list a client hands to DialOptions.Addrs. Addresses
+// are stable across kill/restart.
+func (l *Live) ClusterAddrs(cluster int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.nodes[cluster]))
+	for p, ln := range l.nodes[cluster] {
+		out[p] = ln.addr
+	}
+	return out
+}
+
+// Node returns the running super-peer in a slot, or nil while it is killed.
+func (l *Live) Node(cluster, partner int) *p2p.Node {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nodes[cluster][partner].node
+}
+
+// KillSuperPeer crashes one partner: every one of its connections drops at
+// once, exactly what the reliability experiment's failure process models.
+func (l *Live) KillSuperPeer(cluster, partner int) error {
+	l.mu.Lock()
+	ln := l.nodes[cluster][partner]
+	n := ln.node
+	ln.node = nil
+	l.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("network: super-peer %d/%d already dead", cluster, partner)
+	}
+	l.ctrl.ResetNode(label(cluster, partner))
+	return n.Close()
+}
+
+// RestartSuperPeer brings a killed partner back on its original address and
+// re-dials its overlay neighborhood. Clients re-join on their own via their
+// supervised reconnect loops.
+func (l *Live) RestartSuperPeer(cluster, partner int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ln := l.nodes[cluster][partner]
+	if ln.node != nil {
+		return fmt.Errorf("network: super-peer %d/%d still running", cluster, partner)
+	}
+	n := l.newNode(cluster, partner)
+	if err := n.Listen(ln.addr); err != nil {
+		return err
+	}
+	ln.node = n
+	return l.reconnectLocked(cluster, partner, n)
+}
+
+// PartitionCluster cuts every partner of a cluster off the network: their
+// traffic blackholes until HealCluster. Connections stay up, so this models
+// a network partition rather than a crash — dead-peer detection, not error
+// returns, is what notices it.
+func (l *Live) PartitionCluster(cluster int) {
+	for p := range l.partners(cluster) {
+		l.ctrl.Isolate(label(cluster, p))
+	}
+}
+
+// HealCluster reverses PartitionCluster.
+func (l *Live) HealCluster(cluster int) {
+	for p := range l.partners(cluster) {
+		l.ctrl.Restore(label(cluster, p))
+	}
+}
+
+func (l *Live) partners(cluster int) []*liveNode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nodes[cluster]
+}
+
+// Close tears the whole network down.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closeLocked()
+}
+
+func (l *Live) closeLocked() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	for _, cluster := range l.nodes {
+		for _, ln := range cluster {
+			if ln == nil || ln.node == nil {
+				continue
+			}
+			if err := ln.node.Close(); err != nil && first == nil {
+				first = err
+			}
+			ln.node = nil
+		}
+	}
+	return first
+}

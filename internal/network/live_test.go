@@ -1,0 +1,193 @@
+package network
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spnet/internal/p2p"
+)
+
+func waitLive(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+var liveBackoff = p2p.Backoff{Initial: 20 * time.Millisecond, Max: 100 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+
+// TestLiveKillMidSearchRecovery is the end-to-end churn scenario: a client's
+// super-peer is killed mid-search; the client fails over to the redundant
+// partner (paper §3.2), re-joins, and its next search again reaches content
+// on a remote cluster through the overlay. Recovery time is measured from
+// connection loss to re-join.
+func TestLiveKillMidSearchRecovery(t *testing.T) {
+	lv := NewLive(LiveConfig{Clusters: 2, Partners: 2, Seed: 77})
+	if err := lv.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	provider, err := p2p.DialClient(lv.ClusterAddrs(1)[0], []p2p.SharedFile{
+		{Index: 3, Title: "remote treasure"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	waitLive(t, "provider indexed", func() bool {
+		return lv.Node(1, 0).Stats().IndexedFiles == 1
+	})
+
+	var evmu sync.Mutex
+	var lostAt, rejoinedAt time.Time
+	cl, err := p2p.DialClientOptions(p2p.DialOptions{
+		Addrs:   lv.ClusterAddrs(0),
+		Backoff: liveBackoff,
+		Seed:    7,
+		OnEvent: func(e p2p.Event) {
+			evmu.Lock()
+			defer evmu.Unlock()
+			switch e.Type {
+			case p2p.EventConnLost:
+				if lostAt.IsZero() {
+					lostAt = time.Now()
+				}
+			case p2p.EventRejoined:
+				rejoinedAt = time.Now()
+			}
+		},
+	}, []p2p.SharedFile{{Index: 1, Title: "local copy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitLive(t, "client joined", func() bool {
+		return lv.Node(0, 0).Stats().IndexedFiles == 1
+	})
+
+	// Sanity: the overlay search works before the crash.
+	r, err := cl.Search("treasure", 500*time.Millisecond)
+	if err != nil || len(r) != 1 {
+		t.Fatalf("pre-crash search = %+v, %v", r, err)
+	}
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		lv.KillSuperPeer(0, 0)
+	}()
+	if _, err := cl.Search("treasure", 2*time.Second); err == nil {
+		t.Fatal("search across the killed super-peer reported clean completion")
+	}
+
+	// Failover to the redundant partner, then the overlay search works
+	// again end to end.
+	r, err = cl.Search("treasure", time.Second)
+	if err != nil {
+		t.Fatalf("post-failover search: %v", err)
+	}
+	if len(r) != 1 || r[0].FileIndex != 3 {
+		t.Fatalf("post-failover results = %+v, want remote file 3", r)
+	}
+	if got, want := cl.SuperPeerAddr(), lv.ClusterAddrs(0)[1]; got != want {
+		t.Errorf("client on %s, want redundant partner %s", got, want)
+	}
+	waitLive(t, "client re-indexed on partner", func() bool {
+		return lv.Node(0, 1).Stats().IndexedFiles == 1
+	})
+
+	evmu.Lock()
+	recovery := rejoinedAt.Sub(lostAt)
+	evmu.Unlock()
+	if lostAt.IsZero() || rejoinedAt.IsZero() {
+		t.Fatal("failover events not observed")
+	}
+	if recovery <= 0 || recovery > 2*time.Second {
+		t.Errorf("measured recovery time %v, want a small positive duration", recovery)
+	}
+	t.Logf("measured recovery time (conn lost -> rejoined): %v", recovery)
+}
+
+// TestLiveRestartRejoinsOverlay checks RestartSuperPeer: the slot comes back
+// on its original address and re-establishes its overlay links.
+func TestLiveRestartRejoinsOverlay(t *testing.T) {
+	lv := NewLive(LiveConfig{Clusters: 2, Partners: 2, Seed: 5})
+	if err := lv.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	addr := lv.ClusterAddrs(0)[0]
+	if err := lv.KillSuperPeer(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lv.Node(0, 0) != nil {
+		t.Fatal("killed slot still reports a node")
+	}
+	if err := lv.KillSuperPeer(0, 0); err == nil {
+		t.Error("double kill reported success")
+	}
+	// The survivors notice the crash (TCP reset) and shed the links.
+	waitLive(t, "links shed", func() bool {
+		return lv.Node(0, 1).Stats().Peers == 2 && lv.Node(1, 0).Stats().Peers == 2
+	})
+
+	if err := lv.RestartSuperPeer(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := lv.ClusterAddrs(0)[0]; got != addr {
+		t.Errorf("restarted on %s, want original address %s", got, addr)
+	}
+	// Co-partner plus both partners of the adjacent cluster.
+	waitLive(t, "overlay re-joined", func() bool {
+		return lv.Node(0, 0).Stats().Peers == 3
+	})
+}
+
+// TestLivePartitionCluster checks PartitionCluster/HealCluster: a
+// partitioned cluster's content disappears from search results — without
+// errors, queries into the partition just go dark — and healing restores it.
+func TestLivePartitionCluster(t *testing.T) {
+	lv := NewLive(LiveConfig{Clusters: 2, Partners: 1, Seed: 9})
+	if err := lv.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	provider, err := p2p.DialClient(lv.ClusterAddrs(1)[0], []p2p.SharedFile{
+		{Index: 8, Title: "partitioned prize"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	waitLive(t, "provider indexed", func() bool {
+		return lv.Node(1, 0).Stats().IndexedFiles == 1
+	})
+
+	search := func() int {
+		out, err := lv.Node(0, 0).SearchDetailed("prize", 300*time.Millisecond)
+		if err != nil {
+			t.Fatalf("SearchDetailed: %v", err)
+		}
+		return len(out.Results)
+	}
+	if n := search(); n != 1 {
+		t.Fatalf("pre-partition results = %d, want 1", n)
+	}
+
+	lv.PartitionCluster(1)
+	if n := search(); n != 0 {
+		t.Errorf("results from a partitioned cluster = %d, want 0", n)
+	}
+
+	lv.HealCluster(1)
+	// The healed link may deliver the stale query first; retry briefly.
+	waitLive(t, "post-heal search", func() bool { return search() == 1 })
+}

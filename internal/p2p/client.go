@@ -2,18 +2,59 @@ package p2p
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"spnet/internal/gnutella"
+	"spnet/internal/stats"
 )
+
+// NeighborStatus reports query delivery to one overlay neighbor during a
+// search flood: Err is nil when the query left for that link.
+type NeighborStatus struct {
+	Addr string
+	Err  error
+}
+
+// SearchOutcome is the detailed result of a node-originated search: the
+// collected results plus the per-neighbor delivery accounting, so a search
+// over a degraded overlay returns what it could reach instead of failing
+// whole.
+type SearchOutcome struct {
+	Results []SearchResult
+	// Neighbors records, per overlay link, whether the flood reached it.
+	Neighbors []NeighborStatus
+}
+
+// Failed counts neighbors the flood could not be delivered to.
+func (o *SearchOutcome) Failed() int {
+	n := 0
+	for _, s := range o.Neighbors {
+		if s.Err != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Search floods a query from this node itself (super-peers are users too)
 // and collects Response messages for the given window. Local matches are
 // included.
 func (n *Node) Search(query string, window time.Duration) ([]SearchResult, error) {
+	out, err := n.SearchDetailed(query, window)
+	if out == nil {
+		return nil, err
+	}
+	return out.Results, err
+}
+
+// SearchDetailed is Search with per-neighbor delivery accounting. Dead
+// overlay links degrade the result set; they do not error the search.
+func (n *Node) SearchDetailed(query string, window time.Duration) (*SearchOutcome, error) {
 	id, err := newGUID()
 	if err != nil {
 		return nil, err
@@ -37,22 +78,22 @@ func (n *Node) Search(query string, window time.Duration) ([]SearchResult, error
 		n.mu.Unlock()
 	}()
 
-	n.flood(&gnutella.Query{ID: id, TTL: ttl, Text: query}, peers)
+	outcome := &SearchOutcome{}
+	outcome.Neighbors = n.flood(&gnutella.Query{ID: id, TTL: ttl, Text: query}, peers)
 
-	var out []SearchResult
 	if localHit != nil {
-		out = append(out, hitResults(localHit)...)
+		outcome.Results = append(outcome.Results, hitResults(localHit)...)
 	}
 	deadline := time.NewTimer(window)
 	defer deadline.Stop()
 	for {
 		select {
 		case hit := <-ch:
-			out = append(out, hitResults(hit)...)
+			outcome.Results = append(outcome.Results, hitResults(hit)...)
 		case <-deadline.C:
-			return out, nil
+			return outcome, nil
 		case <-n.stop:
-			return out, errClosed
+			return outcome, errClosed
 		}
 	}
 }
@@ -93,102 +134,570 @@ type SharedFile struct {
 	Title string
 }
 
-// Client is a client-role connection to a super-peer.
-type Client struct {
-	c    net.Conn
-	br   *bufio.Reader
-	guid gnutella.GUID
+// Backoff parameterizes the client's reconnect loop: exponential growth with
+// multiplicative jitter.
+type Backoff struct {
+	// Initial is the delay before the second attempt (default 200ms); the
+	// first reconnect attempt is immediate.
+	Initial time.Duration
+	// Max caps the delay (default 5s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter fraction
+	// (default 0.2). Jitter draws come from DialOptions.Seed, so a fixed
+	// seed yields a fixed delay sequence.
+	Jitter float64
 }
+
+func (b *Backoff) setDefaults() {
+	if b.Initial <= 0 {
+		b.Initial = 200 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+}
+
+// delay returns the backoff before reconnect attempt `attempt` (0-based; 0
+// is immediate).
+func (b *Backoff) delay(attempt int, rng *stats.RNG) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	d := float64(b.Initial)
+	for i := 1; i < attempt; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d)
+}
+
+// EventType classifies client connection-lifecycle events.
+type EventType int
+
+// Client lifecycle events.
+const (
+	// EventConnLost fires when the live connection is detected dead.
+	EventConnLost EventType = iota
+	// EventBackoff fires before a reconnect attempt sleeps.
+	EventBackoff
+	// EventDialFailed fires when one reconnect attempt fails.
+	EventDialFailed
+	// EventReconnected fires when a connection to a (possibly different)
+	// super-peer is established.
+	EventReconnected
+	// EventRejoined fires after the collection metadata has been re-shipped
+	// to the new super-peer.
+	EventRejoined
+	// EventGaveUp fires when MaxAttempts reconnect attempts all failed.
+	EventGaveUp
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventConnLost:
+		return "conn-lost"
+	case EventBackoff:
+		return "backoff"
+	case EventDialFailed:
+		return "dial-failed"
+	case EventReconnected:
+		return "reconnected"
+	case EventRejoined:
+		return "rejoined"
+	case EventGaveUp:
+		return "gave-up"
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// Event is one observation from the client's failover machinery.
+type Event struct {
+	Type    EventType
+	Addr    string
+	Attempt int
+	Delay   time.Duration
+	Err     error
+}
+
+// DialOptions configure a client connection, including the k-redundancy
+// failover the paper's Section 3.2 motivates: a ranked list of redundant
+// partner super-peers, reconnect backoff, and an optional heartbeat
+// supervisor.
+type DialOptions struct {
+	// Addrs is the ranked list of partner super-peer addresses; the client
+	// connects to the first reachable one and fails over down (and around)
+	// the list when its super-peer dies.
+	Addrs []string
+	// DialTimeout bounds each TCP dial (default 10s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the hello exchange (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each message write (default 30s).
+	WriteTimeout time.Duration
+	// Backoff shapes the reconnect delays.
+	Backoff Backoff
+	// MaxAttempts bounds one failover cycle's reconnect attempts across the
+	// ranked list (default 8).
+	MaxAttempts int
+	// HeartbeatInterval is the supervisor's ping period: a background
+	// watchdog pings the super-peer and drives reconnection the moment the
+	// link dies, without waiting for the next user operation (0 disables
+	// the supervisor; faults still trigger reconnection on use).
+	HeartbeatInterval time.Duration
+	// Seed drives the jitter stream (fixed seed → fixed delays).
+	Seed uint64
+	// Dial, when set, replaces the dialer (fault-injection hook).
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// OnEvent, when set, observes failover progress. Called synchronously
+	// from client goroutines; keep it fast.
+	OnEvent func(Event)
+	// Logf, when set, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+func (o *DialOptions) setDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	o.Backoff.setDefaults()
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.Dial == nil {
+		o.Dial = net.DialTimeout
+	}
+	if o.OnEvent == nil {
+		o.OnEvent = func(Event) {}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Client is a client-role connection to a (virtual) super-peer. It remembers
+// its shared collection and, when its super-peer dies, reconnects to the
+// next partner in the ranked list with exponential backoff and re-joins, so
+// the replacement's index is reconciled automatically.
+type Client struct {
+	opts DialOptions
+	guid gnutella.GUID
+	rng  *stats.RNG // jitter stream; used only under recMu
+
+	mu      sync.Mutex // guards conn/br/files/addrIdx/broken/closed
+	wmu     sync.Mutex // serializes message writes
+	c       net.Conn
+	br      *bufio.Reader
+	files   []SharedFile
+	addrIdx int // index into opts.Addrs of the live super-peer
+	broken  bool
+	closed  bool
+
+	recMu      sync.Mutex // serializes failover cycles
+	reconnects int        // guarded by mu
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// errClientClosed reports operations on a closed client.
+var errClientClosed = errors.New("p2p: client closed")
+
+// ErrNoSuperPeer reports that a failover cycle exhausted every ranked
+// super-peer without reconnecting.
+var ErrNoSuperPeer = errors.New("p2p: no reachable super-peer")
 
 // DialClient connects to a super-peer, performs the handshake, and joins
 // with the given collection (the metadata shipment of Section 3.2).
 func DialClient(addr string, files []SharedFile) (*Client, error) {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("p2p: dialing super-peer %s: %w", addr, err)
+	return DialClientOptions(DialOptions{Addrs: []string{addr}}, files)
+}
+
+// DialClientOptions connects to the first reachable super-peer in the
+// ranked list and joins with the given collection. With more than one
+// address (the paper's k-redundant partners) the client fails over
+// automatically when its super-peer dies.
+func DialClientOptions(opts DialOptions, files []SharedFile) (*Client, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, errors.New("p2p: DialOptions.Addrs is empty")
 	}
-	if _, err := fmt.Fprintf(c, "%s\n", helloClient); err != nil {
-		c.Close()
-		return nil, err
-	}
-	br := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
-	line, err := br.ReadString('\n')
-	if err != nil {
-		c.Close()
-		return nil, fmt.Errorf("p2p: handshake with %s: %w", addr, err)
-	}
-	c.SetReadDeadline(time.Time{})
-	if strings.TrimSpace(line) != helloOK {
-		c.Close()
-		return nil, fmt.Errorf("p2p: super-peer %s refused: %s", addr, strings.TrimSpace(line))
-	}
+	opts.setDefaults()
 	guid, err := newGUID()
 	if err != nil {
-		c.Close()
 		return nil, err
 	}
-	cl := &Client{c: c, br: br, guid: guid}
-	if err := cl.join(files); err != nil {
-		c.Close()
+	cl := &Client{
+		opts:  opts,
+		guid:  guid,
+		rng:   stats.NewRNG(opts.Seed),
+		files: append([]SharedFile(nil), files...),
+		stop:  make(chan struct{}),
+	}
+	var firstErr error
+	connected := false
+	for i, addr := range opts.Addrs {
+		c, br, err := cl.dialOne(addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cl.c, cl.br, cl.addrIdx = c, br, i
+		connected = true
+		break
+	}
+	if !connected {
+		return nil, firstErr
+	}
+	if err := cl.writeMsg(cl.c, cl.joinMsg()); err != nil {
+		cl.c.Close()
 		return nil, err
+	}
+	if opts.HeartbeatInterval > 0 {
+		cl.wg.Add(1)
+		go cl.watchdog()
 	}
 	return cl, nil
 }
 
-// join ships the collection metadata.
-func (cl *Client) join(files []SharedFile) error {
+// dialOne establishes and handshakes one client connection.
+func (cl *Client) dialOne(addr string) (net.Conn, *bufio.Reader, error) {
+	c, err := cl.opts.Dial("tcp", addr, cl.opts.DialTimeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("p2p: dialing super-peer %s: %w", addr, err)
+	}
+	if _, err := fmt.Fprintf(c, "%s\n", helloClient); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(cl.opts.HandshakeTimeout))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("p2p: handshake with %s: %w", addr, err)
+	}
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	if strings.TrimSpace(line) != helloOK {
+		c.Close()
+		return nil, nil, fmt.Errorf("p2p: super-peer %s refused: %s", addr, strings.TrimSpace(line))
+	}
+	return c, br, nil
+}
+
+// joinMsg builds the Join for the current collection. Callers hold cl.mu or
+// have exclusive access.
+func (cl *Client) joinMsg() *gnutella.Join {
 	j := &gnutella.Join{ID: cl.guid}
-	for _, f := range files {
+	for _, f := range cl.files {
 		j.Files = append(j.Files, gnutella.MetadataRecord{
 			FileIndex: f.Index, FileSize: f.Size, Title: f.Title,
 		})
 	}
-	return gnutella.WriteMessage(cl.c, j)
+	return j
+}
+
+// writeMsg writes one message to c with the write deadline, serialized
+// against concurrent writers.
+func (cl *Client) writeMsg(c net.Conn, m gnutella.Message) error {
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+	c.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
+	return gnutella.WriteMessage(c, m)
+}
+
+// markBroken flags the given connection dead (if it is still the live one)
+// so the next operation — or the watchdog — reconnects.
+func (cl *Client) markBroken(c net.Conn, err error) {
+	cl.mu.Lock()
+	fire := false
+	if cl.c == c && !cl.broken && !cl.closed {
+		cl.broken = true
+		fire = true
+		c.Close()
+	}
+	cl.mu.Unlock()
+	if fire {
+		cl.opts.Logf("p2p: connection to super-peer lost: %v", err)
+		cl.opts.OnEvent(Event{Type: EventConnLost, Err: err})
+	}
+}
+
+// liveConn returns the current connection, running a failover cycle first if
+// the connection is known dead.
+func (cl *Client) liveConn() (net.Conn, *bufio.Reader, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, nil, errClientClosed
+	}
+	if !cl.broken {
+		c, br := cl.c, cl.br
+		cl.mu.Unlock()
+		return c, br, nil
+	}
+	cl.mu.Unlock()
+	if err := cl.failover(); err != nil {
+		return nil, nil, err
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil, nil, errClientClosed
+	}
+	return cl.c, cl.br, nil
+}
+
+// failover is the supervised reconnect loop: starting from the partner
+// ranked after the dead one, it walks the ranked super-peer list with
+// exponential backoff and jitter, re-handshakes, re-joins with the current
+// collection (reconciling the replacement partner's index), and installs the
+// new connection. Cycles are serialized; a second caller finding the
+// connection already repaired returns immediately.
+func (cl *Client) failover() error {
+	cl.recMu.Lock()
+	defer cl.recMu.Unlock()
+
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return errClientClosed
+	}
+	if !cl.broken {
+		cl.mu.Unlock()
+		return nil // repaired by a concurrent cycle
+	}
+	fromIdx := cl.addrIdx
+	cl.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < cl.opts.MaxAttempts; attempt++ {
+		addr := cl.opts.Addrs[(fromIdx+1+attempt)%len(cl.opts.Addrs)]
+		if d := cl.opts.Backoff.delay(attempt, cl.rng); d > 0 {
+			cl.opts.OnEvent(Event{Type: EventBackoff, Addr: addr, Attempt: attempt, Delay: d})
+			select {
+			case <-time.After(d):
+			case <-cl.stop:
+				return errClientClosed
+			}
+		}
+		c, br, err := cl.dialOne(addr)
+		if err != nil {
+			lastErr = err
+			cl.opts.Logf("p2p: reconnect attempt %d to %s: %v", attempt, addr, err)
+			cl.opts.OnEvent(Event{Type: EventDialFailed, Addr: addr, Attempt: attempt, Err: err})
+			continue
+		}
+
+		cl.mu.Lock()
+		if cl.closed {
+			cl.mu.Unlock()
+			c.Close()
+			return errClientClosed
+		}
+		join := cl.joinMsg()
+		cl.mu.Unlock()
+		if err := cl.writeMsg(c, join); err != nil {
+			c.Close()
+			lastErr = err
+			cl.opts.OnEvent(Event{Type: EventDialFailed, Addr: addr, Attempt: attempt, Err: err})
+			continue
+		}
+
+		cl.mu.Lock()
+		cl.c, cl.br = c, br
+		cl.addrIdx = (fromIdx + 1 + attempt) % len(cl.opts.Addrs)
+		cl.broken = false
+		cl.reconnects++
+		cl.mu.Unlock()
+		cl.opts.Logf("p2p: reconnected to super-peer %s (attempt %d)", addr, attempt)
+		cl.opts.OnEvent(Event{Type: EventReconnected, Addr: addr, Attempt: attempt})
+		cl.opts.OnEvent(Event{Type: EventRejoined, Addr: addr})
+		return nil
+	}
+	err := fmt.Errorf("%w after %d attempts: %v", ErrNoSuperPeer, cl.opts.MaxAttempts, lastErr)
+	cl.opts.OnEvent(Event{Type: EventGaveUp, Err: err})
+	return err
+}
+
+// watchdog supervises the connection: it pings the super-peer every
+// HeartbeatInterval and triggers failover as soon as the link dies, so
+// recovery does not wait for the next user operation. Pong replies are
+// consumed (and ignored) by the next Search's read loop.
+func (cl *Client) watchdog() {
+	defer cl.wg.Done()
+	t := time.NewTicker(cl.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cl.stop:
+			return
+		case <-t.C:
+		}
+		cl.mu.Lock()
+		if cl.closed {
+			cl.mu.Unlock()
+			return
+		}
+		broken, c := cl.broken, cl.c
+		cl.mu.Unlock()
+		if !broken {
+			id, err := newGUID()
+			if err != nil {
+				continue
+			}
+			if err := cl.writeMsg(c, &gnutella.Ping{ID: id, TTL: 1}); err == nil {
+				continue
+			} else {
+				cl.markBroken(c, err)
+			}
+		}
+		if err := cl.failover(); err != nil && !errors.Is(err, errClientClosed) {
+			cl.opts.Logf("p2p: watchdog failover: %v", err)
+		}
+	}
 }
 
 // Rejoin replaces the client's collection at the super-peer.
-func (cl *Client) Rejoin(files []SharedFile) error { return cl.join(files) }
+func (cl *Client) Rejoin(files []SharedFile) error {
+	cl.mu.Lock()
+	cl.files = append(cl.files[:0], files...)
+	cl.mu.Unlock()
+	c, _, err := cl.liveConn()
+	if err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	j := cl.joinMsg()
+	cl.mu.Unlock()
+	if err := cl.writeMsg(c, j); err != nil {
+		cl.markBroken(c, err)
+		return err
+	}
+	return nil
+}
 
-// Update notifies the super-peer of a single collection change.
+// Update notifies the super-peer of a single collection change, keeping the
+// client's remembered collection in sync so a later failover re-joins with
+// the post-update state.
 func (cl *Client) Update(op gnutella.UpdateOp, f SharedFile) error {
-	return gnutella.WriteMessage(cl.c, &gnutella.Update{
+	cl.mu.Lock()
+	switch op {
+	case gnutella.OpDelete:
+		for i := range cl.files {
+			if cl.files[i].Index == f.Index {
+				cl.files = append(cl.files[:i], cl.files[i+1:]...)
+				break
+			}
+		}
+	case gnutella.OpInsert, gnutella.OpModify:
+		replaced := false
+		for i := range cl.files {
+			if cl.files[i].Index == f.Index {
+				cl.files[i] = f
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			cl.files = append(cl.files, f)
+		}
+	}
+	cl.mu.Unlock()
+
+	c, _, err := cl.liveConn()
+	if err != nil {
+		return err
+	}
+	msg := &gnutella.Update{
 		ID: cl.guid,
 		Op: op,
 		File: gnutella.MetadataRecord{
 			FileIndex: f.Index, FileSize: f.Size, Title: f.Title,
 		},
-	})
+	}
+	if err := cl.writeMsg(c, msg); err != nil {
+		cl.markBroken(c, err)
+		return err
+	}
+	return nil
 }
 
 // Search submits a keyword query to the super-peer and collects results for
 // the given window. "Clients submit queries to their super-peer and receive
 // results from it" (Section 1).
+//
+// Search degrades gracefully: a connection failure mid-window returns the
+// results collected so far together with the error, marks the connection
+// dead, and the next operation (or the watchdog) fails over to the next
+// ranked super-peer. Every exit path either clears the read deadline or
+// retires the connection, so a failed SetReadDeadline can never leave a
+// stale deadline poisoning subsequent calls.
 func (cl *Client) Search(query string, window time.Duration) ([]SearchResult, error) {
+	c, br, err := cl.liveConn()
+	if err != nil {
+		return nil, err
+	}
 	id, err := newGUID()
 	if err != nil {
 		return nil, err
 	}
-	if err := gnutella.WriteMessage(cl.c, &gnutella.Query{ID: id, TTL: 1, Text: query}); err != nil {
+	if err := cl.writeMsg(c, &gnutella.Query{ID: id, TTL: 1, Text: query}); err != nil {
+		cl.markBroken(c, err)
 		return nil, err
 	}
 	var out []SearchResult
 	deadline := time.Now().Add(window)
 	for {
-		if err := cl.c.SetReadDeadline(deadline); err != nil {
+		if err := c.SetReadDeadline(deadline); err != nil {
+			// The deadline state is unknowable; retire the connection.
+			cl.markBroken(c, err)
 			return out, err
 		}
-		msg, err := gnutella.ReadMessage(cl.br)
+		msg, err := gnutella.ReadMessage(br)
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				cl.c.SetReadDeadline(time.Time{})
-				return out, nil // window elapsed: results are complete
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && time.Now().After(deadline) {
+				// Window elapsed: results are complete. Restore the
+				// connection to its deadline-free state — if that fails,
+				// retire it rather than let the stale deadline poison the
+				// next call.
+				if cerr := c.SetReadDeadline(time.Time{}); cerr != nil {
+					cl.markBroken(c, cerr)
+				}
+				return out, nil
 			}
+			cl.markBroken(c, err)
 			return out, err
 		}
 		hit, ok := msg.(*gnutella.QueryHit)
 		if !ok {
-			continue // tolerate unexpected traffic
+			continue // tolerate unexpected traffic (heartbeat pongs, etc.)
 		}
 		if hit.ID == id {
 			out = append(out, hitResults(hit)...)
@@ -196,6 +705,43 @@ func (cl *Client) Search(query string, window time.Duration) ([]SearchResult, er
 	}
 }
 
+// Reconnect forces a failover cycle if the connection is dead; it is a
+// no-op on a healthy client.
+func (cl *Client) Reconnect() error {
+	_, _, err := cl.liveConn()
+	return err
+}
+
+// Reconnects reports how many times the client has failed over.
+func (cl *Client) Reconnects() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.reconnects
+}
+
+// SuperPeerAddr returns the address of the currently connected super-peer.
+func (cl *Client) SuperPeerAddr() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.opts.Addrs[cl.addrIdx]
+}
+
 // Close disconnects from the super-peer; the super-peer drops the client's
 // metadata from its index.
-func (cl *Client) Close() error { return cl.c.Close() }
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	c := cl.c
+	cl.mu.Unlock()
+	close(cl.stop)
+	var err error
+	if c != nil {
+		err = c.Close()
+	}
+	cl.wg.Wait()
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spnet/internal/gnutella"
@@ -20,17 +21,28 @@ type conn struct {
 	wmu      sync.Mutex
 	isClient bool
 	owner    int // client owner id; -1 for peers
+	// lastRecv is the unix-nano timestamp of the link's last inbound
+	// message, read by the heartbeat loop for dead-peer detection.
+	lastRecv atomic.Int64
 }
 
 func newConn(n *Node, c net.Conn, br *bufio.Reader, isClient bool) *conn {
-	return &conn{node: n, c: c, br: br, isClient: isClient, owner: -1}
+	cc := &conn{node: n, c: c, br: br, isClient: isClient, owner: -1}
+	cc.touch()
+	return cc
 }
+
+// touch records inbound traffic on the link.
+func (c *conn) touch() { c.lastRecv.Store(time.Now().UnixNano()) }
+
+// lastSeen reports when the link last delivered a message.
+func (c *conn) lastSeen() time.Time { return time.Unix(0, c.lastRecv.Load()) }
 
 // send writes one message, serialized against concurrent senders.
 func (c *conn) send(m gnutella.Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	c.c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	c.c.SetWriteDeadline(time.Now().Add(c.node.opts.WriteTimeout))
 	return gnutella.WriteMessage(c.c, m)
 }
 
@@ -43,7 +55,13 @@ func (n *Node) runClient(c *conn) {
 		if err != nil {
 			return
 		}
+		c.touch()
 		switch m := msg.(type) {
+		case *gnutella.Ping:
+			// Clients probe their super-peer for liveness; answer in kind.
+			if err := c.send(&gnutella.Pong{ID: m.ID, TTL: 1}); err != nil {
+				return
+			}
 		case *gnutella.Join:
 			n.handleClientJoin(c, m)
 		case *gnutella.Query:
@@ -155,7 +173,14 @@ func (n *Node) runPeer(c *conn) {
 		if err != nil {
 			return
 		}
+		c.touch()
 		switch m := msg.(type) {
+		case *gnutella.Ping:
+			if err := c.send(&gnutella.Pong{ID: m.ID, TTL: 1}); err != nil {
+				return
+			}
+		case *gnutella.Pong:
+			// Liveness already recorded by touch.
 		case *gnutella.Query:
 			n.handlePeerQuery(c, m)
 		case *gnutella.QueryHit:
@@ -234,13 +259,19 @@ func (n *Node) handleQueryHit(h *gnutella.QueryHit) {
 	}
 }
 
-// flood sends a query to the given peers (computed under lock beforehand).
-func (n *Node) flood(q *gnutella.Query, peers []*conn) {
+// flood sends a query to the given peers (computed under lock beforehand)
+// and reports per-neighbor delivery status: a failed link degrades the
+// search instead of failing it.
+func (n *Node) flood(q *gnutella.Query, peers []*conn) []NeighborStatus {
+	out := make([]NeighborStatus, 0, len(peers))
 	for _, p := range peers {
-		if err := p.send(q); err != nil {
-			n.opts.Logf("p2p: flooding: %v", err)
+		err := p.send(q)
+		if err != nil {
+			n.opts.Logf("p2p: flooding to %s: %v", p.c.RemoteAddr(), err)
 		}
+		out = append(out, NeighborStatus{Addr: p.c.RemoteAddr().String(), Err: err})
 	}
+	return out
 }
 
 // peerListLocked snapshots the peer set, excluding one link.

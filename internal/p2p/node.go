@@ -45,6 +45,26 @@ type Options struct {
 	// RouteTTL is how long reverse-path routing state is kept
 	// (default 60s).
 	RouteTTL time.Duration
+	// DialTimeout bounds ConnectPeer's TCP dial (default 10s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the hello exchange on both the accept and
+	// the dial path (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each message write (default 30s).
+	WriteTimeout time.Duration
+	// HeartbeatInterval is how often the node pings its overlay neighbors
+	// (default 5s; negative disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer link may stay silent before the
+	// node declares it dead and closes it (default 3×HeartbeatInterval).
+	HeartbeatTimeout time.Duration
+	// Wrap, when set, wraps every accepted connection — the hook
+	// internal/faults uses to inject message drop, delay, truncation,
+	// resets and partitions.
+	Wrap func(net.Conn) net.Conn
+	// Dial, when set, replaces the dialer used by ConnectPeer (same fault
+	// injection hook, outbound side).
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +81,27 @@ func (o *Options) setDefaults() {
 	}
 	if o.RouteTTL <= 0 {
 		o.RouteTTL = 60 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 5 * time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 3 * o.HeartbeatInterval
+	}
+	if o.Wrap == nil {
+		o.Wrap = func(c net.Conn) net.Conn { return c }
+	}
+	if o.Dial == nil {
+		o.Dial = net.DialTimeout
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -128,6 +169,10 @@ func (n *Node) Listen(addr string) error {
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.pruneLoop()
+	if n.opts.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
 	return nil
 }
 
@@ -200,8 +245,9 @@ func (n *Node) acceptLoop() {
 // serve performs the acceptor side of the handshake and runs the
 // connection's read loop.
 func (n *Node) serve(c net.Conn) {
+	c = n.opts.Wrap(c)
 	br := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(time.Now().Add(n.opts.HandshakeTimeout))
 	line, err := br.ReadString('\n')
 	if err != nil {
 		c.Close()
@@ -277,7 +323,7 @@ func (n *Node) unregister(c *conn) {
 
 // ConnectPeer dials another super-peer and adds it as an overlay neighbor.
 func (n *Node) ConnectPeer(addr string) error {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	c, err := n.opts.Dial("tcp", addr, n.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("p2p: dialing peer %s: %w", addr, err)
 	}
@@ -286,7 +332,7 @@ func (n *Node) ConnectPeer(addr string) error {
 		return err
 	}
 	br := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c.SetReadDeadline(time.Now().Add(n.opts.HandshakeTimeout))
 	line, err := br.ReadString('\n')
 	if err != nil {
 		c.Close()
@@ -309,6 +355,42 @@ func (n *Node) ConnectPeer(addr string) error {
 		n.runPeer(pc)
 	}()
 	return nil
+}
+
+// heartbeatLoop pings every overlay neighbor each HeartbeatInterval and
+// closes links that have been silent past HeartbeatTimeout — the dead-peer
+// detection that lets the overlay shed crashed or partitioned super-peers
+// instead of blocking on them.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case now := <-t.C:
+			n.mu.Lock()
+			peers := n.peerListLocked(nil)
+			n.mu.Unlock()
+			for _, p := range peers {
+				if silent := now.Sub(p.lastSeen()); silent > n.opts.HeartbeatTimeout {
+					n.opts.Logf("p2p: peer %s silent %v > %v, declaring dead",
+						p.c.RemoteAddr(), silent.Round(time.Millisecond), n.opts.HeartbeatTimeout)
+					p.c.Close()
+					continue
+				}
+				id, err := newGUID()
+				if err != nil {
+					continue
+				}
+				if err := p.send(&gnutella.Ping{ID: id, TTL: 1}); err != nil {
+					n.opts.Logf("p2p: heartbeat to %s: %v", p.c.RemoteAddr(), err)
+					p.c.Close()
+				}
+			}
+		}
+	}
 }
 
 // pruneLoop expires stale reverse-path routes.

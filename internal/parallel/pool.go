@@ -102,3 +102,45 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+// ForEachProgress is ForEach with a completion callback: after each task
+// succeeds, progress(done, n) reports the cumulative count. Calls are
+// serialized and done is strictly increasing, so callers can print progress
+// without their own locking. Progress reporting never affects results: task
+// order, RNG streams and error selection are exactly ForEach's.
+func ForEachProgress(workers, n int, progress func(done, total int), fn func(i int) error) error {
+	if progress == nil {
+		return ForEach(workers, n, fn)
+	}
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	return ForEach(workers, n, func(i int) error {
+		if err := fn(i); err != nil {
+			return err
+		}
+		mu.Lock()
+		done++
+		progress(done, n)
+		mu.Unlock()
+		return nil
+	})
+}
+
+// MapProgress is Map with a ForEachProgress-style completion callback.
+func MapProgress[T any](workers, n int, progress func(done, total int), fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachProgress(workers, n, progress, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

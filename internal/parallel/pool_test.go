@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -100,5 +101,66 @@ func TestMapError(t *testing.T) {
 	}
 	if out != nil {
 		t.Errorf("partial results returned on error")
+	}
+}
+
+func TestMapProgressReportsMonotonically(t *testing.T) {
+	for _, w := range []int{1, 4, 0} {
+		var mu sync.Mutex
+		var seen []int
+		got, err := MapProgress(w, 50, func(done, total int) {
+			if total != 50 {
+				t.Errorf("workers=%d: total = %d, want 50", w, total)
+			}
+			mu.Lock()
+			seen = append(seen, done)
+			mu.Unlock()
+		}, func(i int) (int, error) { return i + 1, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: got[%d] = %d", w, i, v)
+			}
+		}
+		if len(seen) != 50 {
+			t.Fatalf("workers=%d: %d progress calls, want 50", w, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress[%d] = %d, want strictly increasing from 1", w, i, d)
+			}
+		}
+	}
+}
+
+func TestForEachProgressNilCallback(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachProgress(4, 10, nil, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d tasks, want 10", ran.Load())
+	}
+}
+
+func TestMapProgressStopsReportingOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := MapProgress(3, 20, func(done, total int) {
+		calls.Add(1)
+	}, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Failed tasks never report; only successes count.
+	if calls.Load() >= 20 {
+		t.Errorf("progress called %d times despite a failure", calls.Load())
 	}
 }

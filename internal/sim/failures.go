@@ -1,5 +1,7 @@
 package sim
 
+import "spnet/internal/faults"
+
 // FailureOptions inject super-peer failures, quantifying the reliability
 // argument of Section 3.2: "if one partner fails, the others may continue to
 // service clients and neighbors until a new partner can be found. The
@@ -13,7 +15,15 @@ type FailureOptions struct {
 	// RecoveryDelay is how long it takes to find and provision a
 	// replacement partner after a failure, in seconds.
 	RecoveryDelay float64
+	// Schedule, when non-empty, replays a fixed failure schedule (virtual
+	// seconds from simulation start) instead of the stochastic MTBF
+	// process. The same schedule can drive the live harness, so simulated
+	// and measured recovery can be compared event for event.
+	Schedule faults.Schedule
 }
+
+// replayMode reports whether failures come from a fixed schedule.
+func (f *FailureOptions) replayMode() bool { return len(f.Schedule) > 0 }
 
 // failureState tracks a cluster's outage bookkeeping.
 type failureState struct {
@@ -25,7 +35,7 @@ type failureState struct {
 // scheduleFailures installs the per-partner failure process for a cluster.
 func (s *Simulator) scheduleFailures(c *clusterNode) {
 	f := s.opts.Failures
-	if f == nil || f.MTBF <= 0 {
+	if f == nil || (f.MTBF <= 0 && !f.replayMode()) {
 		return
 	}
 	if c.failures == nil {
@@ -36,14 +46,42 @@ func (s *Simulator) scheduleFailures(c *clusterNode) {
 	}
 }
 
+// schedulePartnerFailure arms the stochastic failure clock for one partner.
+// In replay mode there is no per-partner clock: scheduleReplay installs the
+// fixed events once for the whole run.
 func (s *Simulator) schedulePartnerFailure(p *partnerNode) {
 	f := s.opts.Failures
+	if f.replayMode() || f.MTBF <= 0 {
+		return
+	}
 	s.sched.schedule(s.rng.ExpFloat64()*f.MTBF, func() {
 		if !p.alive() || p.cluster.isDown() {
 			return
 		}
 		s.failPartner(p)
 	})
+}
+
+// scheduleReplay installs a fixed failure schedule: each event kills the
+// given partner slot of the given cluster at its virtual time. Events aimed
+// at a slot that no longer exists (already failed and not yet replaced) or
+// at a dark cluster are dropped, mirroring a live run where that process is
+// already dead.
+func (s *Simulator) scheduleReplay() {
+	for _, ev := range s.opts.Failures.Schedule.Truncate(s.opts.Duration) {
+		ev := ev
+		if ev.Cluster < 0 || ev.Cluster >= len(s.clusters) {
+			continue
+		}
+		c := s.clusters[ev.Cluster]
+		s.sched.schedule(ev.At, func() {
+			if c.dissolved() || c.isDown() ||
+				ev.Partner < 0 || ev.Partner >= len(c.partners) {
+				return
+			}
+			s.failPartner(c.partners[ev.Partner])
+		})
+	}
 }
 
 func (c *clusterNode) isDown() bool { return c.failures != nil && c.failures.down }

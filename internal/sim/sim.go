@@ -317,6 +317,9 @@ func (s *Simulator) start() {
 			s.scheduleAdaptive(c)
 		}
 	}
+	if f := s.opts.Failures; f != nil && f.replayMode() {
+		s.scheduleReplay()
+	}
 }
 
 // startClientProcesses schedules a client slot's behavior loops: Poisson

@@ -43,6 +43,7 @@ import (
 	"spnet/internal/content"
 	"spnet/internal/design"
 	"spnet/internal/experiments"
+	"spnet/internal/faults"
 	"spnet/internal/network"
 	"spnet/internal/p2p"
 	"spnet/internal/sim"
@@ -247,12 +248,35 @@ func WriteReportCSV(r *ExperimentReport, dir string) ([]string, error) {
 // queries over its overlay links with a TTL, and routes Response messages
 // back along the reverse path — the system the paper models, live.
 type (
-	Node         = p2p.Node
-	NodeOptions  = p2p.Options
-	NodeStats    = p2p.Stats
-	NodeClient   = p2p.Client
-	SharedFile   = p2p.SharedFile
-	SearchResult = p2p.SearchResult
+	Node           = p2p.Node
+	NodeOptions    = p2p.Options
+	NodeStats      = p2p.Stats
+	NodeClient     = p2p.Client
+	SharedFile     = p2p.SharedFile
+	SearchResult   = p2p.SearchResult
+	SearchOutcome  = p2p.SearchOutcome
+	NeighborStatus = p2p.NeighborStatus
+)
+
+// ClientDialOptions, ClientBackoff and ClientEvent configure a supervised
+// client: a ranked list of redundant partner super-peers (the paper's
+// k-redundancy), exponential backoff with seeded jitter, automatic re-join
+// after failover, and an event stream for observing recovery.
+type (
+	ClientDialOptions = p2p.DialOptions
+	ClientBackoff     = p2p.Backoff
+	ClientEvent       = p2p.Event
+	ClientEventType   = p2p.EventType
+)
+
+// Client failover events, in the order a recovery emits them.
+const (
+	EventConnLost    = p2p.EventConnLost
+	EventBackoff     = p2p.EventBackoff
+	EventDialFailed  = p2p.EventDialFailed
+	EventReconnected = p2p.EventReconnected
+	EventRejoined    = p2p.EventRejoined
+	EventGaveUp      = p2p.EventGaveUp
 )
 
 // NewNode creates a super-peer; call its Listen method to start serving.
@@ -263,3 +287,43 @@ func NewNode(opts NodeOptions) *Node { return p2p.NewNode(opts) }
 func DialSuperPeer(addr string, files []SharedFile) (*NodeClient, error) {
 	return p2p.DialClient(addr, files)
 }
+
+// DialSuperPeers connects as a supervised client with failover across a
+// ranked super-peer list.
+func DialSuperPeers(opts ClientDialOptions, files []SharedFile) (*NodeClient, error) {
+	return p2p.DialClientOptions(opts, files)
+}
+
+// FaultController, FaultRule and FailureSchedule are the deterministic fault
+// injection layer: a seeded controller that wraps live connections to inject
+// message drop, delay, truncation, connection resets and partitions, plus
+// shared failure schedules that replay identically in the simulator
+// (FailureOptions.Schedule) and against live networks.
+type (
+	FaultController = faults.Controller
+	FaultRule       = faults.Rule
+	FailureSchedule = faults.Schedule
+	PartnerFailure  = faults.PartnerFailure
+)
+
+// NewFaultController creates a deterministic, seed-driven fault injector.
+func NewFaultController(seed uint64) *FaultController { return faults.NewController(seed) }
+
+// ExponentialFailureSchedule draws a reproducible failure schedule with
+// exponentially distributed inter-failure gaps (mean mtbf) for every partner
+// of every cluster over the given duration.
+func ExponentialFailureSchedule(seed uint64, clusters, partners int, mtbf, duration float64) FailureSchedule {
+	return faults.ExponentialSchedule(seed, clusters, partners, mtbf, duration)
+}
+
+// LiveNetwork runs a real super-peer network on loopback and orchestrates
+// churn against it: killing and restarting super-peers, partitioning
+// clusters, and injecting link faults through its FaultController.
+type (
+	LiveNetwork = network.Live
+	LiveConfig  = network.LiveConfig
+)
+
+// NewLiveNetwork builds the live churn harness; call its Launch method to
+// boot the network.
+func NewLiveNetwork(cfg LiveConfig) *LiveNetwork { return network.NewLive(cfg) }
