@@ -6,6 +6,7 @@
 //	spnet-experiments -list
 //	spnet-experiments -exp fig4 [-scale 1.0] [-trials 3] [-seed 1]
 //	spnet-experiments -exp all -scale 0.2
+//	spnet-experiments -exp reliability -live [-live-scale 120] [-live-duration 600]
 package main
 
 import (
@@ -25,8 +26,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
 		list     = flag.Bool("list", false, "list the available experiments")
-		csvDir   = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory")
+		csvDir   = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory (streamed per sweep point: interrupted runs keep partial results)")
 		progress = flag.Bool("progress", false, "report per-sweep progress on stderr while experiments run")
+
+		live         = flag.Bool("live", false, "with -exp reliability (or all): also replay the failure regimes on a real TCP super-peer network and print the live table next to the simulated one")
+		liveScale    = flag.Float64("live-scale", 120, "time-scale bridge: virtual seconds per wall-clock second for the live run")
+		liveDuration = flag.Float64("live-duration", 600, "virtual seconds per live cell")
+		liveClients  = flag.Int("live-clients", 3, "live clients per cluster")
 	)
 	flag.Parse()
 
@@ -50,23 +56,78 @@ func main() {
 	}
 	failed := false
 	for _, id := range ids {
+		var prog func(stage string, done, total int)
 		if *progress {
 			id := id
-			params.Progress = func(stage string, done, total int) {
+			prog = func(stage string, done, total int) {
 				fmt.Fprintf(os.Stderr, "\r%s: %s %d/%d", id, stage, done, total)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
 				}
 			}
 		}
+		params.Progress = prog
+
+		// Streaming CSV export: rows land on disk as sweep points complete,
+		// so an interrupted run keeps its partial results. The final
+		// WriteReportCSV below overwrites them with the identical full table.
+		var stream *spnet.ReportCSVStream
+		params.RowSink = nil
+		if *csvDir != "" {
+			var err error
+			stream, err = spnet.NewReportCSVStream(id, *csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opening CSV stream for %s: %v\n", id, err)
+				failed = true
+			} else {
+				params.RowSink = stream.Row
+			}
+		}
+
 		start := time.Now()
 		rep, err := spnet.RunExperiment(id, params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed = true
+			if stream != nil {
+				stream.Close()
+			}
 			continue
 		}
 		fmt.Print(spnet.FormatReport(rep))
+
+		if *live && id == "reliability" {
+			lp := spnet.LiveReliabilityParams{
+				TimeScale:         *liveScale,
+				Duration:          *liveDuration,
+				ClientsPerCluster: *liveClients,
+				Seed:              *seed,
+				Progress:          prog,
+			}
+			if stream != nil {
+				lp.RowSink = stream.Row
+			}
+			liveRep, err := spnet.RunLiveReliability(lp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "live reliability failed: %v\n", err)
+				failed = true
+			} else {
+				fmt.Print(spnet.FormatReport(liveRep))
+				if *csvDir != "" {
+					if _, err := spnet.WriteReportCSV(liveRep, *csvDir); err != nil {
+						fmt.Fprintf(os.Stderr, "writing CSV for live reliability: %v\n", err)
+						failed = true
+					}
+				}
+			}
+		}
+
+		if stream != nil {
+			if _, err := stream.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "streaming CSV for %s: %v\n", id, err)
+				failed = true
+			}
+		}
 		if *csvDir != "" {
 			paths, err := spnet.WriteReportCSV(rep, *csvDir)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // WriteCSV writes a report's tables and series as CSV files under dir
@@ -71,6 +72,93 @@ func WriteCSV(r *Report, dir string) ([]string, error) {
 		}
 	}
 	return paths, nil
+}
+
+// CSVStream writes sweep rows to per-stage CSV files incrementally, flushing
+// to disk after every row, so an interrupted run (crash, ^C, power loss)
+// keeps every sweep point that had completed. Plug its Row method into
+// Params.RowSink (or LiveParams.RowSink); the final WriteCSV of the full
+// report remains authoritative and will simply overwrite matching files with
+// identical content.
+//
+// Each distinct stage gets its own file, <id>_<slug(stage)>.csv, with the
+// stage's column header as the first record. Row is safe for concurrent use.
+type CSVStream struct {
+	id  string
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+	ws    map[string]*csv.Writer
+	paths []string
+	err   error // first write error, surfaced by Close
+}
+
+// NewCSVStream creates dir if needed and returns a stream for the given
+// report id.
+func NewCSVStream(id, dir string) (*CSVStream, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	return &CSVStream{
+		id:    id,
+		dir:   dir,
+		files: make(map[string]*os.File),
+		ws:    make(map[string]*csv.Writer),
+	}, nil
+}
+
+// Row appends one completed sweep row to the stage's file, creating it (with
+// the header) on first use, and flushes so the row is durable immediately.
+// Errors are latched and reported by Close — a failing disk must not abort
+// the experiment producing the rows.
+func (s *CSVStream) Row(stage string, columns, row []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.ws[stage]
+	if !ok {
+		path := filepath.Join(s.dir, fmt.Sprintf("%s_%s.csv", s.id, slug(stage)))
+		f, err := os.Create(path)
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		w = csv.NewWriter(f)
+		s.files[stage] = f
+		s.ws[stage] = w
+		s.paths = append(s.paths, path)
+		if err := w.Write(columns); err != nil {
+			s.setErr(err)
+			return
+		}
+	}
+	if err := w.Write(row); err != nil {
+		s.setErr(err)
+		return
+	}
+	w.Flush()
+	s.setErr(w.Error())
+}
+
+func (s *CSVStream) setErr(err error) {
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Close flushes and closes every stage file, returning the paths written and
+// the first error encountered across the stream's lifetime.
+func (s *CSVStream) Close() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for stage, w := range s.ws {
+		w.Flush()
+		s.setErr(w.Error())
+		s.setErr(s.files[stage].Close())
+	}
+	s.ws = make(map[string]*csv.Writer)
+	s.files = make(map[string]*os.File)
+	return s.paths, s.err
 }
 
 // slug converts a free-form label to a safe file-name fragment.

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -104,5 +105,70 @@ func TestWriteCSVBadDir(t *testing.T) {
 	rep := &Report{ID: "x", Tables: []Table{{Columns: []string{"a"}, Rows: nil}}}
 	if _, err := WriteCSV(rep, filepath.Join(string([]byte{0}), "nope")); err == nil {
 		t.Error("invalid dir accepted")
+	}
+}
+
+func TestCSVStreamWritesIncrementally(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewCSVStream("reliability", dir)
+	if err != nil {
+		t.Fatalf("NewCSVStream: %v", err)
+	}
+	cols := []string{"a", "b"}
+	s.Row("failure regimes", cols, []string{"1", "2"})
+
+	// The first row must already be durable on disk, before Close.
+	path := filepath.Join(dir, "reliability_failure-regimes.csv")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading mid-stream: %v", err)
+	}
+	if got := string(data); got != "a,b\n1,2\n" {
+		t.Fatalf("mid-stream contents = %q", got)
+	}
+
+	s.Row("failure regimes", cols, []string{"3", "4"})
+	s.Row("other stage", []string{"x"}, []string{"9"})
+	paths, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2 files", paths)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "a,b\n1,2\n3,4\n" {
+		t.Fatalf("final contents = %q", got)
+	}
+}
+
+func TestReliabilityStreamsRows(t *testing.T) {
+	var mu sync.Mutex
+	var streamed [][]string
+	rep, err := Run("reliability", Params{
+		Scale: 0.02,
+		Seed:  3,
+		RowSink: func(stage string, columns, row []string) {
+			mu.Lock()
+			streamed = append(streamed, append([]string(nil), row...))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("reliability: %v", err)
+	}
+	want := rep.Tables[0].Rows
+	if len(streamed) != len(want) {
+		t.Fatalf("streamed %d rows, table has %d", len(streamed), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if streamed[i][j] != want[i][j] {
+				t.Fatalf("streamed row %d differs from table: %v vs %v", i, streamed[i], want[i])
+			}
+		}
 	}
 }

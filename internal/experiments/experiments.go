@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"spnet/internal/parallel"
 )
@@ -24,6 +25,35 @@ func pmap[T any](p Params, stage string, n int, fn func(i int) (T, error)) ([]T,
 	return parallel.MapProgress(p.Workers, n, func(done, total int) {
 		p.Progress(stage, done, total)
 	}, fn)
+}
+
+// pmapRows is pmap for table-row sweeps with streaming export: completed rows
+// are handed to Params.RowSink in index order as their prefix completes, so
+// an interrupted sweep leaves the finished rows behind instead of losing the
+// whole table. Determinism is parallel.MapStream's: the emitted row sequence
+// is bit-identical to the returned table at any worker count.
+func pmapRows(p Params, stage string, columns []string, n int, fn func(i int) ([]string, error)) ([][]string, error) {
+	var emit func(i int, row []string)
+	if p.RowSink != nil {
+		emit = func(_ int, row []string) { p.RowSink(stage, columns, row) }
+	}
+	f := fn
+	if p.Progress != nil {
+		var mu sync.Mutex
+		done := 0
+		f = func(i int) ([]string, error) {
+			row, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			done++
+			p.Progress(stage, done, n)
+			mu.Unlock()
+			return row, nil
+		}
+	}
+	return parallel.MapStream(p.Workers, n, emit, f)
 }
 
 // Params tune an experiment run.
@@ -45,6 +75,11 @@ type Params struct {
 	// out of total. Calls are serialized with done strictly increasing per
 	// sweep; reporting never changes results.
 	Progress func(stage string, done, total int)
+	// RowSink, when set, receives completed table rows of row-sweep
+	// experiments as they finish, in row order — the streaming-export hook
+	// CSVStream plugs into so interrupted runs keep partial results. Calls
+	// are serialized; sinking never changes results.
+	RowSink func(stage string, columns, row []string)
 }
 
 func (p Params) scale() float64 {

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spnet/internal/faults"
+	"spnet/internal/network"
+	"spnet/internal/p2p"
+	"spnet/internal/stats"
+	"spnet/internal/workload"
+)
+
+// LiveRegime is one failure regime of the live reliability experiment, in
+// virtual seconds — the same units as the simulated reliability table, so the
+// two run the same failure processes.
+type LiveRegime struct {
+	Label string
+	// MTBF is each partner's mean time between failures, virtual seconds.
+	MTBF float64
+	// Recovery is how long a killed partner stays down, virtual seconds.
+	Recovery float64
+}
+
+// LiveParams shape the live reliability experiment: the simulated
+// reliability experiment's failure regimes replayed against real TCP
+// super-peers (network.Live) with real clients issuing seeded Poisson query
+// workloads, under a wall-clock ↔ virtual-time bridge.
+//
+// The bridge: schedules are drawn in virtual seconds (the simulator's unit)
+// and divided by TimeScale to get wall-clock times, so a 600-virtual-second
+// regime replays in 5 wall seconds at TimeScale 120. Fault times and query
+// arrival times are bit-deterministic in Seed; measured counts depend on
+// real scheduling and are only statistically stable.
+type LiveParams struct {
+	// Clusters is the overlay ring size (default 3).
+	Clusters int
+	// Ks are the redundancy levels swept (default 1, 2, 3 — the simulated
+	// table's grid).
+	Ks []int
+	// ClientsPerCluster is how many live clients join each cluster
+	// (default 3).
+	ClientsPerCluster int
+	// Duration is each cell's length in virtual seconds (default 600).
+	Duration float64
+	// TimeScale compresses virtual seconds into wall clock: wall = virtual /
+	// TimeScale (default 120).
+	TimeScale float64
+	// QueryRate is each client's Poisson query rate in queries per virtual
+	// second (default: the Table 1 per-user rate, 9.26e-3 — at the default
+	// TimeScale that is ~1.1 queries per wall second per client).
+	QueryRate float64
+	// QueryWindow is the wall-clock window each search collects results for
+	// (default 200ms).
+	QueryWindow time.Duration
+	// Seed drives every schedule: fault times, query arrivals, backoff
+	// jitter.
+	Seed uint64
+	// Regimes are the failure regimes to replay (default: the simulated
+	// reliability experiment's harsh and benign regimes).
+	Regimes []LiveRegime
+	// Progress, when set, receives per-cell completion updates.
+	Progress func(stage string, done, total int)
+	// RowSink, when set, receives each result row as its cell completes —
+	// the streaming-export hook (same shape as Params.RowSink, so CSVStream
+	// plugs into both), letting interrupted runs keep partial results.
+	RowSink func(stage string, columns, row []string)
+	// Logf, when set, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+func (lp *LiveParams) setDefaults() {
+	if lp.Clusters <= 0 {
+		lp.Clusters = 3
+	}
+	if len(lp.Ks) == 0 {
+		lp.Ks = []int{1, 2, 3}
+	}
+	if lp.ClientsPerCluster <= 0 {
+		lp.ClientsPerCluster = 3
+	}
+	if lp.Duration <= 0 {
+		lp.Duration = 600
+	}
+	if lp.TimeScale <= 0 {
+		lp.TimeScale = 120
+	}
+	if lp.QueryRate <= 0 {
+		lp.QueryRate = workload.DefaultRates().QueryRate
+	}
+	if lp.QueryWindow <= 0 {
+		lp.QueryWindow = 200 * time.Millisecond
+	}
+	if len(lp.Regimes) == 0 {
+		lp.Regimes = []LiveRegime{
+			{"harsh (MTBF 1000 s, recovery 300 s)", 1000, 300},
+			{"benign (MTBF 2000 s, recovery 60 s)", 2000, 60},
+		}
+	}
+	if lp.Logf == nil {
+		lp.Logf = func(string, ...any) {}
+	}
+}
+
+// wall converts virtual seconds to wall-clock duration under the bridge.
+func (lp *LiveParams) wall(virtual float64) time.Duration {
+	return time.Duration(virtual / lp.TimeScale * float64(time.Second))
+}
+
+// wallClamped is wall with a floor, for knobs (heartbeats, backoff) that
+// stop making sense below scheduler granularity.
+func (lp *LiveParams) wallClamped(virtual float64, floor time.Duration) time.Duration {
+	if d := lp.wall(virtual); d > floor {
+		return d
+	}
+	return floor
+}
+
+// liveArrivals draws one client's query arrival times in virtual seconds: a
+// Poisson process at rate queries/virtual-second out to duration. The stream
+// is split per (cluster, client) slot, so the full arrival plan is
+// deterministic in the seed and independent of scheduling.
+func liveArrivals(seed uint64, clientsPer, cluster, client int, rate, duration float64) []float64 {
+	rng := stats.NewRNG(seed).Split(uint64(cluster*clientsPer + client + 1))
+	var out []float64
+	if rate <= 0 {
+		return out
+	}
+	t := rng.ExpFloat64() / rate
+	for t < duration {
+		out = append(out, t)
+		t += rng.ExpFloat64() / rate
+	}
+	return out
+}
+
+// liveCellResult is one (regime, k) cell's measurements.
+type liveCellResult struct {
+	failures    int // kills actually executed
+	issued      int
+	lost        int // searches that returned an error
+	degraded    int // successful searches missing results vs healthy baseline
+	busy        int // Busy (load-shed) responses observed
+	resultsSum  int
+	recoverySum float64 // virtual seconds
+	recoveryN   int
+}
+
+// liveClient is one live client slot with its arrival plan and failover
+// observations.
+type liveClient struct {
+	cl       *p2p.Client
+	arrivals []float64
+
+	mu       sync.Mutex
+	lostAt   []time.Time
+	rejoinAt []time.Time
+}
+
+// runLiveCell replays one failure regime at one redundancy level against a
+// real network and measures it.
+func runLiveCell(lp *LiveParams, reg LiveRegime, k int, cellSeed uint64) (res liveCellResult, err error) {
+	live := network.NewLive(network.LiveConfig{
+		Clusters: lp.Clusters,
+		Partners: k,
+		Seed:     cellSeed,
+		Node: p2p.Options{
+			HeartbeatInterval: lp.wallClamped(30, 100*time.Millisecond),
+			DrainTimeout:      200 * time.Millisecond,
+		},
+	})
+	if err := live.Launch(); err != nil {
+		return res, err
+	}
+	defer live.Close()
+
+	// Live clients: each shares one file matching the common probe term, so
+	// a fully healthy search returns Clusters×ClientsPerCluster results and
+	// anything less is measurable partial-result degradation.
+	healthy := lp.Clusters * lp.ClientsPerCluster
+	clients := make([]*liveClient, 0, healthy)
+	defer func() {
+		for _, lc := range clients {
+			lc.cl.Close()
+		}
+	}()
+	for c := 0; c < lp.Clusters; c++ {
+		for i := 0; i < lp.ClientsPerCluster; i++ {
+			lc := &liveClient{
+				arrivals: liveArrivals(cellSeed, lp.ClientsPerCluster, c, i, lp.QueryRate, lp.Duration),
+			}
+			opts := p2p.DialOptions{
+				Addrs:             live.ClusterAddrs(c),
+				Seed:              cellSeed + uint64(c*lp.ClientsPerCluster+i),
+				HeartbeatInterval: lp.wallClamped(5, 20*time.Millisecond),
+				MaxAttempts:       2 * k, // one quick lap of the ranked list; the watchdog retries
+				Backoff: p2p.Backoff{
+					Initial: lp.wallClamped(1, 5*time.Millisecond),
+					Max:     lp.wallClamped(10, 25*time.Millisecond),
+				},
+				OnEvent: func(ev p2p.Event) {
+					lc.mu.Lock()
+					switch ev.Type {
+					case p2p.EventConnLost:
+						lc.lostAt = append(lc.lostAt, time.Now())
+					case p2p.EventRejoined:
+						lc.rejoinAt = append(lc.rejoinAt, time.Now())
+					}
+					lc.mu.Unlock()
+				},
+			}
+			cl, err := p2p.DialClientOptions(opts, []p2p.SharedFile{
+				{Index: 1, Title: fmt.Sprintf("needle c%dp%d", c, i)},
+			})
+			if err != nil {
+				return res, fmt.Errorf("live client %d/%d: %w", c, i, err)
+			}
+			clients = append(clients, lc)
+			lc.cl = cl
+		}
+	}
+
+	// The failure timeline: the same exponential per-partner failure process
+	// the simulator injects, drawn in virtual seconds and replayed at
+	// wall-clock times through the bridge. Kills and their recoveries merge
+	// into one ordered timeline.
+	sched := faults.ExponentialSchedule(cellSeed+500, lp.Clusters, k, reg.MTBF, lp.Duration).Truncate(lp.Duration)
+	type liveEvent struct {
+		atWall  time.Duration
+		kill    bool
+		cluster int
+		partner int
+	}
+	var timeline []liveEvent
+	for _, ev := range sched {
+		timeline = append(timeline, liveEvent{lp.wall(ev.At), true, ev.Cluster, ev.Partner})
+		if back := ev.At + reg.Recovery; back < lp.Duration {
+			timeline = append(timeline, liveEvent{lp.wall(back), false, ev.Cluster, ev.Partner})
+		}
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].atWall < timeline[j].atWall })
+
+	start := time.Now()
+	stopc := make(chan struct{})
+	var kills int
+	var killMu sync.Mutex
+	var driverWG sync.WaitGroup
+	driverWG.Add(1)
+	go func() {
+		defer driverWG.Done()
+		for _, ev := range timeline {
+			wait := time.Until(start.Add(ev.atWall))
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-stopc:
+					return
+				}
+			}
+			if ev.kill {
+				if err := live.KillSuperPeer(ev.cluster, ev.partner); err == nil {
+					killMu.Lock()
+					kills++
+					killMu.Unlock()
+				}
+			} else {
+				// "Still running" / double-restart races are benign: the
+				// schedule may re-kill a partner inside its own recovery
+				// window.
+				if err := live.RestartSuperPeer(ev.cluster, ev.partner); err != nil {
+					lp.Logf("live: restart sp %d/%d: %v", ev.cluster, ev.partner, err)
+				}
+			}
+		}
+	}()
+
+	// Query generators: one per client, firing at the precomputed arrivals.
+	type tally struct {
+		issued, lost, degraded, busy, results int
+	}
+	tallies := make([]tally, len(clients))
+	var genWG sync.WaitGroup
+	for ci, lc := range clients {
+		genWG.Add(1)
+		go func(ci int, lc *liveClient) {
+			defer genWG.Done()
+			tl := &tallies[ci]
+			for _, at := range lc.arrivals {
+				if wait := time.Until(start.Add(lp.wall(at))); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-stopc:
+						return
+					}
+				}
+				out, err := lc.cl.SearchDetailed("needle", lp.QueryWindow)
+				tl.issued++
+				if err != nil {
+					tl.lost++
+					continue
+				}
+				tl.results += len(out.Results)
+				tl.busy += out.Busy
+				if len(out.Results) < healthy {
+					tl.degraded++
+				}
+			}
+		}(ci, lc)
+	}
+
+	// Let the cell play out: generators finish their arrival plans (late
+	// queries just fire late), then the fault driver is released.
+	genWG.Wait()
+	endWait := time.Until(start.Add(lp.wall(lp.Duration)))
+	if endWait > 0 {
+		time.Sleep(endWait)
+	}
+	close(stopc)
+	driverWG.Wait()
+
+	killMu.Lock()
+	res.failures = kills
+	killMu.Unlock()
+	for i := range tallies {
+		res.issued += tallies[i].issued
+		res.lost += tallies[i].lost
+		res.degraded += tallies[i].degraded
+		res.busy += tallies[i].busy
+		res.resultsSum += tallies[i].results
+	}
+	// Recovery times: pair each connection loss with the next rejoin,
+	// reported in virtual seconds through the bridge.
+	for _, lc := range clients {
+		lc.mu.Lock()
+		ri := 0
+		for _, lost := range lc.lostAt {
+			for ri < len(lc.rejoinAt) && lc.rejoinAt[ri].Before(lost) {
+				ri++
+			}
+			if ri >= len(lc.rejoinAt) {
+				break
+			}
+			res.recoverySum += lc.rejoinAt[ri].Sub(lost).Seconds() * lp.TimeScale
+			res.recoveryN++
+			ri++
+		}
+		lc.mu.Unlock()
+	}
+	return res, nil
+}
+
+// liveReliabilityColumns is the live table's header, shared with the CSV
+// stream.
+var liveReliabilityColumns = []string{
+	"Failure regime", "k", "Failures", "Queries issued", "Queries lost",
+	"Lost fraction", "Degraded results", "Mean recovery (s)", "Busy",
+}
+
+// RunLiveReliability executes the reliability experiment's failure regimes
+// over a real TCP super-peer network and reports the live counterparts of
+// the simulated table's columns: lost-query fraction, recovery time, and
+// partial-result degradation. Cells run sequentially — each one is a real
+// network saturating real sockets, and overlapping them would perturb the
+// measurements.
+func RunLiveReliability(lp LiveParams) (*Report, error) {
+	lp.setDefaults()
+	type cell struct {
+		regime int
+		k      int
+	}
+	var cells []cell
+	for ri := range lp.Regimes {
+		for _, k := range lp.Ks {
+			cells = append(cells, cell{ri, k})
+		}
+	}
+	rows := make([][]string, 0, len(cells))
+	for i, c := range cells {
+		reg := lp.Regimes[c.regime]
+		cellSeed := lp.Seed + uint64(c.regime*1000+c.k)
+		res, err := runLiveCell(&lp, reg, c.k, cellSeed)
+		if err != nil {
+			return nil, fmt.Errorf("live cell %s k=%d: %w", reg.Label, c.k, err)
+		}
+		lostFrac := 0.0
+		if res.issued > 0 {
+			lostFrac = float64(res.lost) / float64(res.issued)
+		}
+		degFrac := 0.0
+		if ok := res.issued - res.lost; ok > 0 {
+			degFrac = float64(res.degraded) / float64(ok)
+		}
+		meanRec := "-"
+		if res.recoveryN > 0 {
+			meanRec = fmt.Sprintf("%.0f", res.recoverySum/float64(res.recoveryN))
+		}
+		row := []string{
+			reg.Label,
+			fmt.Sprint(c.k),
+			fmt.Sprint(res.failures),
+			fmt.Sprint(res.issued),
+			fmt.Sprint(res.lost),
+			fmt.Sprintf("%.2f%%", 100*lostFrac),
+			fmt.Sprintf("%.2f%%", 100*degFrac),
+			meanRec,
+			fmt.Sprint(res.busy),
+		}
+		rows = append(rows, row)
+		if lp.RowSink != nil {
+			lp.RowSink("live failure regimes", liveReliabilityColumns, row)
+		}
+		if lp.Progress != nil {
+			lp.Progress("live failure regimes", i+1, len(cells))
+		}
+	}
+	return &Report{
+		ID:    "livereliability",
+		Title: "Live reliability: the failure regimes replayed on real TCP super-peers",
+		Notes: []string{
+			fmt.Sprintf("time-scale bridge: %g virtual s per wall s; %g virtual s per cell (%.1f wall s)",
+				lp.TimeScale, lp.Duration, lp.Duration/lp.TimeScale),
+			fmt.Sprintf("%d clusters × k partners, %d clients/cluster, per-client query rate %.3g/virtual s",
+				lp.Clusters, lp.ClientsPerCluster, lp.QueryRate),
+			"fault and arrival schedules are deterministic per seed; measured counts depend on real scheduling",
+			"degraded = successful searches returning fewer results than the healthy-network baseline",
+		},
+		Tables: []Table{{
+			Title:   "live failure regimes",
+			Columns: liveReliabilityColumns,
+			Rows:    rows,
+		}},
+	}, nil
+}

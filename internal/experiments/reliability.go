@@ -49,7 +49,8 @@ func runReliability(p Params) (*Report, error) {
 			cells = append(cells, cell{ri, k})
 		}
 	}
-	rows, err := pmap(p, "failure regimes", len(cells), func(i int) ([]string, error) {
+	columns := []string{"Failure regime", "k", "Failures", "Client queries lost", "Lost fraction", "Results/query"}
+	rows, err := pmapRows(p, "failure regimes", columns, len(cells), func(i int) ([]string, error) {
 		reg := regimes[cells[i].regime]
 		k := cells[i].k
 		c := cfg
@@ -90,7 +91,7 @@ func runReliability(p Params) (*Report, error) {
 			fmt.Sprintf("%d peers, cluster 10, %v s of virtual time per cell", cfg.GraphSize, duration),
 		},
 		Tables: []Table{{
-			Columns: []string{"Failure regime", "k", "Failures", "Client queries lost", "Lost fraction", "Results/query"},
+			Columns: columns,
 			Rows:    rows,
 		}},
 	}, nil

@@ -39,6 +39,9 @@ const (
 	Reset
 	// Partition discards traffic because an endpoint is partitioned.
 	Partition
+	// Corrupt flips one byte of a message write, letting the damaged frame
+	// through to exercise the receiver's decoder hardening.
+	Corrupt
 	numKinds
 )
 
@@ -54,6 +57,8 @@ func (k Kind) String() string {
 		return "reset"
 	case Partition:
 		return "partition"
+	case Corrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -72,6 +77,9 @@ type Rule struct {
 	// TruncateProb is the probability a write is cut short mid-message and
 	// the connection killed.
 	TruncateProb float64
+	// CorruptProb is the probability one byte of the write is flipped before
+	// delivery, leaving the connection up.
+	CorruptProb float64
 	// ResetProb is the probability the connection is killed before the
 	// write.
 	ResetProb float64
@@ -246,38 +254,56 @@ const (
 	actDrop
 	actDelay
 	actTruncate
+	actCorrupt
 	actReset
 	actPartition
 )
 
-func (f *Controller) writeAction(local, remote string) (action, time.Duration) {
+// writeFault is one write's decided fate: the action plus its parameters
+// (delay length for actDelay; flip position and XOR mask for actCorrupt).
+type writeFault struct {
+	act   action
+	delay time.Duration
+	pos   int
+	mask  byte
+}
+
+func (f *Controller) writeAction(local, remote string, n int) writeFault {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.isolated[local] || (remote != "" && (f.isolated[remote] || f.cut[pairKey(local, remote)])) {
 		f.counts[Partition]++
-		return actPartition, 0
+		return writeFault{act: actPartition}
 	}
 	r, ok := f.rules[local]
 	if !ok {
-		return actPass, 0
+		return writeFault{act: actPass}
 	}
 	if r.DropProb > 0 && f.rng.Float64() < r.DropProb {
 		f.counts[Drop]++
-		return actDrop, 0
+		return writeFault{act: actDrop}
 	}
 	if r.DelayProb > 0 && f.rng.Float64() < r.DelayProb {
 		f.counts[Delay]++
-		return actDelay, r.DelayFor
+		return writeFault{act: actDelay, delay: r.DelayFor}
 	}
 	if r.TruncateProb > 0 && f.rng.Float64() < r.TruncateProb {
 		f.counts[Truncate]++
-		return actTruncate, 0
+		return writeFault{act: actTruncate}
+	}
+	if r.CorruptProb > 0 && n > 0 && f.rng.Float64() < r.CorruptProb {
+		f.counts[Corrupt]++
+		return writeFault{
+			act:  actCorrupt,
+			pos:  int(f.rng.Uint64() % uint64(n)),
+			mask: byte(1 + f.rng.Uint64()%255), // non-zero: always a real flip
+		}
 	}
 	if r.ResetProb > 0 && f.rng.Float64() < r.ResetProb {
 		f.counts[Reset]++
-		return actReset, 0
+		return writeFault{act: actReset}
 	}
-	return actPass, 0
+	return writeFault{act: actPass}
 }
 
 func (f *Controller) blackholed(node string) bool {
@@ -320,13 +346,13 @@ func (e *timeoutError) Temporary() bool { return true }
 
 // Write applies the node's fault policy to one message write.
 func (c *Conn) Write(p []byte) (int, error) {
-	act, d := c.ctrl.writeAction(c.local, c.remote)
-	switch act {
+	w := c.ctrl.writeAction(c.local, c.remote, len(p))
+	switch w.act {
 	case actDrop, actPartition:
 		// The caller sees success; the bytes vanish.
 		return len(p), nil
 	case actDelay:
-		time.Sleep(d)
+		time.Sleep(w.delay)
 	case actTruncate:
 		n := len(p) / 2
 		if n > 0 {
@@ -334,6 +360,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		c.Close()
 		return n, errReset
+	case actCorrupt:
+		damaged := make([]byte, len(p))
+		copy(damaged, p)
+		damaged[w.pos] ^= w.mask
+		return c.Conn.Write(damaged)
 	case actReset:
 		c.Close()
 		return 0, errReset

@@ -16,15 +16,31 @@ type Message interface {
 var (
 	_ Message = (*Ping)(nil)
 	_ Message = (*Pong)(nil)
+	_ Message = (*Busy)(nil)
 	_ Message = (*Query)(nil)
 	_ Message = (*QueryHit)(nil)
 	_ Message = (*Join)(nil)
 	_ Message = (*Update)(nil)
 )
 
-// MaxPayloadLen bounds accepted payloads, protecting readers from
-// malicious or corrupt length fields.
+// MaxPayloadLen is the hard upper bound on accepted payloads, protecting
+// readers from malicious or corrupt length fields: a frame header can never
+// make ReadMessage allocate more than this (plus the 23-byte header).
 const MaxPayloadLen = 1 << 22 // 4 MiB: ~55k result records
+
+// ErrPayloadTooLarge reports a frame whose header claims a payload above the
+// reader's limit. It is returned before any payload byte is read or
+// allocated, so an attacker-controlled length field costs nothing. Shared by
+// the node's read path and the decoder fuzz target. An oversized frame is a
+// kind of malformed message, so errors.Is also matches ErrBadMessage.
+var ErrPayloadTooLarge error = payloadTooLargeError{}
+
+type payloadTooLargeError struct{}
+
+func (payloadTooLargeError) Error() string { return "gnutella: payload exceeds limit" }
+
+// Is makes ErrPayloadTooLarge a refinement of ErrBadMessage.
+func (payloadTooLargeError) Is(target error) bool { return target == ErrBadMessage }
 
 // WriteMessage serializes one message to w (descriptor header + payload;
 // TCP provides the framing the cost model's fixed overhead accounts for).
@@ -35,6 +51,8 @@ func WriteMessage(w io.Writer, m Message) error {
 	case *Ping:
 		buf = msg.Encode()
 	case *Pong:
+		buf = msg.Encode()
+	case *Busy:
 		buf = msg.Encode()
 	case *Query:
 		buf = msg.Encode()
@@ -54,9 +72,21 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage reads and decodes the next message from r. It returns
-// io.EOF (or io.ErrUnexpectedEOF mid-message) when the stream ends.
+// ReadMessage reads and decodes the next message from r, accepting payloads
+// up to MaxPayloadLen. It returns io.EOF (or io.ErrUnexpectedEOF mid-message)
+// when the stream ends.
 func ReadMessage(r io.Reader) (Message, error) {
+	return ReadMessageLimit(r, MaxPayloadLen)
+}
+
+// ReadMessageLimit is ReadMessage with an explicit payload bound: frames
+// whose header claims more than maxPayload bytes are rejected with
+// ErrPayloadTooLarge before any payload is read. maxPayload is clamped to
+// [0, MaxPayloadLen]; 0 selects MaxPayloadLen.
+func ReadMessageLimit(r io.Reader, maxPayload uint32) (Message, error) {
+	if maxPayload == 0 || maxPayload > MaxPayloadLen {
+		maxPayload = MaxPayloadLen
+	}
 	head := make([]byte, DescriptorHeaderLen)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return nil, err
@@ -65,8 +95,8 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if h.PayloadLen > MaxPayloadLen {
-		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadMessage, h.PayloadLen)
+	if h.PayloadLen > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d > %d", ErrPayloadTooLarge, h.PayloadLen, maxPayload)
 	}
 	buf := make([]byte, DescriptorHeaderLen+int(h.PayloadLen))
 	copy(buf, head)
@@ -81,6 +111,8 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return DecodePing(buf)
 	case TypePong:
 		return DecodePong(buf)
+	case TypeBusy:
+		return DecodeBusy(buf)
 	case TypeQuery:
 		return DecodeQuery(buf)
 	case TypeQueryHit:

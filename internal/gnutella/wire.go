@@ -19,6 +19,7 @@ const (
 	TypeQueryHit MsgType = 0x81
 	TypeJoin     MsgType = 0x10
 	TypeUpdate   MsgType = 0x11
+	TypeBusy     MsgType = 0x12
 )
 
 func (t MsgType) String() string {
@@ -35,6 +36,8 @@ func (t MsgType) String() string {
 		return "Join"
 	case TypeUpdate:
 		return "Update"
+	case TypeBusy:
+		return "Busy"
 	}
 	return fmt.Sprintf("MsgType(0x%02x)", byte(t))
 }
@@ -147,6 +150,45 @@ func DecodePong(buf []byte) (*Pong, error) {
 		return nil, fmt.Errorf("%w: pong payload %d, want 0", ErrBadMessage, h.PayloadLen)
 	}
 	return &Pong{ID: h.ID, TTL: h.TTL, Hops: h.Hops}, nil
+}
+
+// Busy is the explicit load-shed signal of the overload-protected super-peer
+// stack: a node that cannot accept a Query (dispatch queue full, per-link
+// inflight cap hit, or client rate limit exceeded) answers Busy echoing the
+// query's GUID instead of silently dropping it, and intermediate super-peers
+// relay it along the reverse path so the originator can count degraded
+// coverage. Like the heartbeat frames it is outside the paper's cost model;
+// the payload is empty.
+type Busy struct {
+	ID   GUID
+	TTL  uint8
+	Hops uint8
+}
+
+// Encode serializes the busy signal (descriptor header only, no payload).
+func (b *Busy) Encode() []byte {
+	buf := make([]byte, DescriptorHeaderLen)
+	h := Header{ID: b.ID, Type: TypeBusy, TTL: b.TTL, Hops: b.Hops}
+	h.encode(buf)
+	return buf
+}
+
+// WireSize returns the on-the-wire size including framing: PingLen.
+func (b *Busy) WireSize() int { return PingSize() }
+
+// DecodeBusy parses an encoded busy signal.
+func DecodeBusy(buf []byte) (*Busy, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypeBusy {
+		return nil, fmt.Errorf("%w: type %v, want Busy", ErrBadMessage, h.Type)
+	}
+	if h.PayloadLen != 0 || len(buf) != DescriptorHeaderLen {
+		return nil, fmt.Errorf("%w: busy payload %d, want 0", ErrBadMessage, h.PayloadLen)
+	}
+	return &Busy{ID: h.ID, TTL: h.TTL, Hops: h.Hops}, nil
 }
 
 // Query is a keyword search request flooded over the super-peer overlay.

@@ -216,6 +216,9 @@ func (l *Live) KillSuperPeer(cluster, partner int) error {
 func (l *Live) RestartSuperPeer(cluster, partner int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("network: harness closed")
+	}
 	ln := l.nodes[cluster][partner]
 	if ln.node != nil {
 		return fmt.Errorf("network: super-peer %d/%d still running", cluster, partner)

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -147,6 +148,112 @@ func TestLiveRestartRejoinsOverlay(t *testing.T) {
 	// Co-partner plus both partners of the adjacent cluster.
 	waitLive(t, "overlay re-joined", func() bool {
 		return lv.Node(0, 0).Stats().Peers == 3
+	})
+}
+
+// TestLiveAllPartnersDown drives the supervised client into the worst case:
+// every ranked redundant partner of its cluster is dead. The failover cycle
+// must respect the backoff cap, terminate with EventGaveUp (Search surfacing
+// ErrNoSuperPeer), and — because the watchdog keeps retrying each heartbeat —
+// recover on its own once RestartSuperPeer brings a partner back.
+func TestLiveAllPartnersDown(t *testing.T) {
+	lv := NewLive(LiveConfig{Clusters: 2, Partners: 2, Seed: 13})
+	if err := lv.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+
+	provider, err := p2p.DialClient(lv.ClusterAddrs(1)[0], []p2p.SharedFile{
+		{Index: 5, Title: "phoenix prize"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	waitLive(t, "provider indexed", func() bool {
+		return lv.Node(1, 0).Stats().IndexedFiles == 1
+	})
+
+	backoff := p2p.Backoff{Initial: 5 * time.Millisecond, Max: 25 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+	var evmu sync.Mutex
+	var events []p2p.Event
+	cl, err := p2p.DialClientOptions(p2p.DialOptions{
+		Addrs:             lv.ClusterAddrs(0),
+		Backoff:           backoff,
+		MaxAttempts:       4,
+		HeartbeatInterval: 30 * time.Millisecond,
+		Seed:              3,
+		OnEvent: func(e p2p.Event) {
+			evmu.Lock()
+			events = append(events, e)
+			evmu.Unlock()
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Kill the whole ranked list: both partners of cluster 0.
+	if err := lv.KillSuperPeer(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.KillSuperPeer(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// With nothing to fail over to, the cycle exhausts MaxAttempts and
+	// Search surfaces the terminal error. The first Search may instead die
+	// on the half-closed connection, so retry until the typed error shows.
+	waitLive(t, "search reports ErrNoSuperPeer", func() bool {
+		_, err := cl.Search("prize", 100*time.Millisecond)
+		return errors.Is(err, p2p.ErrNoSuperPeer)
+	})
+
+	evmu.Lock()
+	var backoffs, gaveUp int
+	for _, e := range events {
+		switch e.Type {
+		case p2p.EventBackoff:
+			backoffs++
+			if e.Delay <= 0 || e.Delay > backoff.Max {
+				t.Errorf("backoff delay %v outside (0, %v]", e.Delay, backoff.Max)
+			}
+		case p2p.EventGaveUp:
+			gaveUp++
+			if !errors.Is(e.Err, p2p.ErrNoSuperPeer) {
+				t.Errorf("EventGaveUp err = %v, want ErrNoSuperPeer", e.Err)
+			}
+		}
+	}
+	evmu.Unlock()
+	if backoffs == 0 {
+		t.Error("no EventBackoff observed across the failover cycle")
+	}
+	if gaveUp == 0 {
+		t.Error("no EventGaveUp observed with every partner down")
+	}
+
+	// Recovery: restart one partner; the watchdog's periodic failover
+	// reconnects and re-joins without any new Search being needed.
+	if err := lv.RestartSuperPeer(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitLive(t, "client rejoined restarted partner", func() bool {
+		evmu.Lock()
+		defer evmu.Unlock()
+		for _, e := range events {
+			if e.Type == p2p.EventRejoined {
+				return true
+			}
+		}
+		return false
+	})
+	// The restarted super-peer re-links the overlay, so a search reaches
+	// the remote cluster's content again end to end.
+	waitLive(t, "post-recovery search", func() bool {
+		r, err := cl.Search("prize", 300*time.Millisecond)
+		return err == nil && len(r) == 1 && r[0].FileIndex == 5
 	})
 }
 

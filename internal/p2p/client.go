@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spnet/internal/gnutella"
@@ -28,6 +29,9 @@ type SearchOutcome struct {
 	Results []SearchResult
 	// Neighbors records, per overlay link, whether the flood reached it.
 	Neighbors []NeighborStatus
+	// Busy counts load-shed (Busy) signals routed back for this query:
+	// overloaded super-peers that refused it instead of answering.
+	Busy int
 }
 
 // Failed counts neighbors the flood could not be delivered to.
@@ -60,13 +64,14 @@ func (n *Node) SearchDetailed(query string, window time.Duration) (*SearchOutcom
 		return nil, err
 	}
 	ch := make(chan *gnutella.QueryHit, 64)
+	var busyN atomic.Int32
 
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil, errClosed
 	}
-	n.routes[id] = &routeEntry{owner: -1, local: ch, at: time.Now()}
+	n.routes[id] = &routeEntry{owner: -1, local: ch, busyN: &busyN, at: time.Now()}
 	localHit := n.searchLocked(id, query)
 	peers := n.peerListLocked(nil)
 	ttl := uint8(n.opts.TTL)
@@ -91,8 +96,10 @@ func (n *Node) SearchDetailed(query string, window time.Duration) (*SearchOutcom
 		case hit := <-ch:
 			outcome.Results = append(outcome.Results, hitResults(hit)...)
 		case <-deadline.C:
+			outcome.Busy = int(busyN.Load())
 			return outcome, nil
 		case <-n.stop:
+			outcome.Busy = int(busyN.Load())
 			return outcome, errClosed
 		}
 	}
@@ -317,6 +324,8 @@ type Client struct {
 
 	recMu      sync.Mutex // serializes failover cycles
 	reconnects int        // guarded by mu
+
+	busy atomic.Int64 // Busy responses observed across all searches
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -660,6 +669,28 @@ func (cl *Client) Update(op gnutella.UpdateOp, f SharedFile) error {
 // retires the connection, so a failed SetReadDeadline can never leave a
 // stale deadline poisoning subsequent calls.
 func (cl *Client) Search(query string, window time.Duration) ([]SearchResult, error) {
+	out, err := cl.SearchDetailed(query, window)
+	if out == nil {
+		return nil, err
+	}
+	return out.Results, err
+}
+
+// ClientSearchOutcome is the detailed result of one client search: the
+// collected results plus how many Busy (load-shed) signals came back for the
+// query, so callers can distinguish "no matches" from "the network refused
+// some of the work".
+type ClientSearchOutcome struct {
+	Results []SearchResult
+	// Busy counts Busy responses received for this query's GUID: super-peers
+	// that shed the query under overload instead of answering it.
+	Busy int
+}
+
+// SearchDetailed is Search with overload accounting: Busy responses for the
+// query are counted instead of silently skipped. The degradation semantics
+// are identical to Search.
+func (cl *Client) SearchDetailed(query string, window time.Duration) (*ClientSearchOutcome, error) {
 	c, br, err := cl.liveConn()
 	if err != nil {
 		return nil, err
@@ -672,7 +703,7 @@ func (cl *Client) Search(query string, window time.Duration) ([]SearchResult, er
 		cl.markBroken(c, err)
 		return nil, err
 	}
-	var out []SearchResult
+	out := &ClientSearchOutcome{}
 	deadline := time.Now().Add(window)
 	for {
 		if err := c.SetReadDeadline(deadline); err != nil {
@@ -695,14 +726,26 @@ func (cl *Client) Search(query string, window time.Duration) ([]SearchResult, er
 			cl.markBroken(c, err)
 			return out, err
 		}
-		hit, ok := msg.(*gnutella.QueryHit)
-		if !ok {
-			continue // tolerate unexpected traffic (heartbeat pongs, etc.)
-		}
-		if hit.ID == id {
-			out = append(out, hitResults(hit)...)
+		switch m := msg.(type) {
+		case *gnutella.QueryHit:
+			if m.ID == id {
+				out.Results = append(out.Results, hitResults(m)...)
+			}
+		case *gnutella.Busy:
+			if m.ID == id {
+				out.Busy++
+				cl.busy.Add(1)
+			}
+		default:
+			// Tolerate unexpected traffic (heartbeat pongs, etc.).
 		}
 	}
+}
+
+// BusyResponses reports how many Busy (load-shed) signals the client has
+// received across all searches.
+func (cl *Client) BusyResponses() int64 {
+	return cl.busy.Load()
 }
 
 // Reconnect forces a failover cycle if the connection is dead; it is a

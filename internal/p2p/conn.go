@@ -24,6 +24,39 @@ type conn struct {
 	// lastRecv is the unix-nano timestamp of the link's last inbound
 	// message, read by the heartbeat loop for dead-peer detection.
 	lastRecv atomic.Int64
+	// inflight counts this link's queries that are queued or executing;
+	// admission refuses with Busy above Options.MaxInflight.
+	inflight atomic.Int32
+	// bucket rate-limits client queries when Options.ClientQueryRate is set.
+	bucket tokenBucket
+}
+
+// tokenBucket is a standard leaky token bucket: take refills by elapsed time
+// at `rate` tokens/sec up to `burst`, then spends one token per admitted
+// query.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func (b *tokenBucket) take(now time.Time, rate, burst float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 func newConn(n *Node, c net.Conn, br *bufio.Reader, isClient bool) *conn {
@@ -46,12 +79,42 @@ func (c *conn) send(m gnutella.Message) error {
 	return gnutella.WriteMessage(c.c, m)
 }
 
+// read returns the link's next message under the node's hard read limits: a
+// frame's payload may not exceed Options.MaxPayload, and once its first byte
+// has arrived the rest must arrive within Options.FrameTimeout. An idle link
+// (no bytes pending) waits without a deadline — heartbeats own idle-death
+// detection — but a half-sent frame can never hang the reader goroutine or
+// make it allocate unbounded memory.
+func (c *conn) read() (gnutella.Message, error) {
+	if _, err := c.br.Peek(1); err != nil {
+		return nil, err
+	}
+	ft := c.node.opts.FrameTimeout
+	if ft > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(ft)); err != nil {
+			return nil, err
+		}
+	}
+	m, err := gnutella.ReadMessageLimit(c.br, c.node.opts.MaxPayload)
+	if err != nil {
+		return nil, err
+	}
+	if ft > 0 {
+		// Clearing the deadline must succeed, or the stale deadline would
+		// poison the next idle wait; retire the connection if it fails.
+		if err := c.c.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
 // runClient serves a client connection: the first message must be a Join;
 // afterwards the client may query, update, or re-join.
 func (n *Node) runClient(c *conn) {
 	defer n.dropClient(c)
 	for {
-		msg, err := gnutella.ReadMessage(c.br)
+		msg, err := c.read()
 		if err != nil {
 			return
 		}
@@ -69,7 +132,7 @@ func (n *Node) runClient(c *conn) {
 				n.opts.Logf("p2p: query before join from %s", c.c.RemoteAddr())
 				return
 			}
-			n.handleClientQuery(c, m)
+			n.enqueueQuery(c, m, false)
 		case *gnutella.Update:
 			if c.owner < 0 {
 				n.opts.Logf("p2p: update before join from %s", c.c.RemoteAddr())
@@ -169,7 +232,7 @@ func (n *Node) runPeer(c *conn) {
 		n.mu.Unlock()
 	}()
 	for {
-		msg, err := gnutella.ReadMessage(c.br)
+		msg, err := c.read()
 		if err != nil {
 			return
 		}
@@ -182,9 +245,11 @@ func (n *Node) runPeer(c *conn) {
 		case *gnutella.Pong:
 			// Liveness already recorded by touch.
 		case *gnutella.Query:
-			n.handlePeerQuery(c, m)
+			n.enqueueQuery(c, m, true)
 		case *gnutella.QueryHit:
 			n.handleQueryHit(m)
+		case *gnutella.Busy:
+			n.handleBusy(m)
 		default:
 			n.opts.Logf("p2p: unexpected %T from peer %s", m, c.c.RemoteAddr())
 			return
@@ -256,6 +321,38 @@ func (n *Node) handleQueryHit(h *gnutella.QueryHit) {
 	fwd.Hops++
 	if err := target.send(&fwd); err != nil {
 		n.opts.Logf("p2p: relaying hit: %v", err)
+	}
+}
+
+// handleBusy routes an overloaded peer's load-shed signal along the reverse
+// path, like handleQueryHit, so the query's originator can account for
+// degraded coverage. For locally originated searches the count lands on the
+// route entry's busy counter.
+func (n *Node) handleBusy(b *gnutella.Busy) {
+	n.busyReceived.Add(1)
+	n.mu.Lock()
+	rt, ok := n.routes[b.ID]
+	var target *conn
+	if ok {
+		switch {
+		case rt.local != nil:
+			if rt.busyN != nil {
+				rt.busyN.Add(1)
+			}
+		case rt.owner >= 0:
+			target = n.clients[rt.owner]
+		default:
+			target = rt.via
+		}
+	}
+	n.mu.Unlock()
+	if target == nil {
+		return // locally counted, or route expired
+	}
+	fwd := *b
+	fwd.Hops++
+	if err := target.send(&fwd); err != nil {
+		n.opts.Logf("p2p: relaying busy: %v", err)
 	}
 }
 

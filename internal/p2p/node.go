@@ -19,6 +19,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spnet/internal/gnutella"
@@ -58,6 +59,36 @@ type Options struct {
 	// HeartbeatTimeout is how long a peer link may stay silent before the
 	// node declares it dead and closes it (default 3×HeartbeatInterval).
 	HeartbeatTimeout time.Duration
+	// MaxInflight bounds queued-plus-executing queries per connection:
+	// excess queries are answered with Busy instead of queued (default 64).
+	MaxInflight int
+	// QueueDepth bounds the node-wide pending-query dispatch queue; when it
+	// is full, arriving queries are shed with a Busy response (default 1024).
+	QueueDepth int
+	// QueryWorkers is how many dispatcher goroutines drain the query queue
+	// (default 4). Readers never execute queries inline, so a slow search
+	// can't stall a connection's read loop.
+	QueryWorkers int
+	// ClientQueryRate token-buckets queries per client connection, in
+	// queries per second; over-rate queries are refused with Busy
+	// (default 0: unlimited).
+	ClientQueryRate float64
+	// ClientQueryBurst is the token bucket's capacity (default
+	// max(1, ClientQueryRate)).
+	ClientQueryBurst float64
+	// FrameTimeout bounds how long a frame may take to finish arriving once
+	// its first byte is in: a peer that stalls mid-message is disconnected
+	// instead of hanging its reader goroutine forever (default 30s;
+	// negative disables).
+	FrameTimeout time.Duration
+	// MaxPayload bounds accepted frame payloads; larger length fields are
+	// rejected with gnutella.ErrPayloadTooLarge and the connection dropped
+	// (default and ceiling: gnutella.MaxPayloadLen).
+	MaxPayload uint32
+	// DrainTimeout is how long Close lets already-queued queries finish
+	// before connections are torn down (default 2s; negative disables the
+	// drain).
+	DrainTimeout time.Duration
 	// Wrap, when set, wraps every accepted connection — the hook
 	// internal/faults uses to inject message drop, delay, truncation,
 	// resets and partitions.
@@ -97,6 +128,30 @@ func (o *Options) setDefaults() {
 	if o.HeartbeatTimeout <= 0 {
 		o.HeartbeatTimeout = 3 * o.HeartbeatInterval
 	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.QueryWorkers <= 0 {
+		o.QueryWorkers = 4
+	}
+	if o.ClientQueryBurst <= 0 {
+		o.ClientQueryBurst = o.ClientQueryRate
+		if o.ClientQueryBurst < 1 {
+			o.ClientQueryBurst = 1
+		}
+	}
+	if o.FrameTimeout == 0 {
+		o.FrameTimeout = 30 * time.Second
+	}
+	if o.MaxPayload == 0 || o.MaxPayload > gnutella.MaxPayloadLen {
+		o.MaxPayload = gnutella.MaxPayloadLen
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 2 * time.Second
+	}
 	if o.Wrap == nil {
 		o.Wrap = func(c net.Conn) net.Conn { return c }
 	}
@@ -114,6 +169,9 @@ type routeEntry struct {
 	via   *conn // nil for locally originated or client-originated queries
 	owner int   // client owner id when a local client originated it, else -1
 	local chan *gnutella.QueryHit
+	// busyN, when set on a locally originated search, counts Busy
+	// (load-shed) signals routed back for the query.
+	busyN *atomic.Int32
 	at    time.Time
 }
 
@@ -139,8 +197,30 @@ type Node struct {
 	nClients int
 	nPeers   int
 
+	// Query dispatch: readers enqueue, workers execute. The queue is the
+	// overload-protection buffer between accept rate and processing rate;
+	// when it (or a connection's inflight cap) overflows, queries are shed
+	// with counted Busy responses instead of silent drops or read-loop
+	// stalls.
+	queue       chan queryTask
+	qwg         sync.WaitGroup
+	workersOnce sync.Once
+
+	// Overload accounting (atomic; reported by Stats).
+	queriesHandled atomic.Int64
+	queriesShed    atomic.Int64
+	rateLimited    atomic.Int64
+	busyReceived   atomic.Int64
+
 	wg   sync.WaitGroup
 	stop chan struct{}
+}
+
+// queryTask is one query waiting for a dispatch worker.
+type queryTask struct {
+	c        *conn
+	q        *gnutella.Query
+	fromPeer bool
 }
 
 // NewNode creates a node; call Listen to start serving.
@@ -154,8 +234,20 @@ func NewNode(opts Options) *Node {
 		peers:   make(map[*conn]struct{}),
 		conns:   make(map[*conn]struct{}),
 		routes:  make(map[gnutella.GUID]*routeEntry),
+		queue:   make(chan queryTask, opts.QueueDepth),
 		stop:    make(chan struct{}),
 	}
+}
+
+// startWorkers launches the query dispatch pool once, from whichever entry
+// point (Listen or ConnectPeer) first makes the node reachable.
+func (n *Node) startWorkers() {
+	n.workersOnce.Do(func() {
+		n.qwg.Add(n.opts.QueryWorkers)
+		for i := 0; i < n.opts.QueryWorkers; i++ {
+			go n.queryWorker()
+		}
+	})
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting clients and
@@ -166,6 +258,7 @@ func (n *Node) Listen(addr string) error {
 		return fmt.Errorf("p2p: listen %s: %w", addr, err)
 	}
 	n.ln = ln
+	n.startWorkers()
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.pruneLoop()
@@ -184,7 +277,9 @@ func (n *Node) Addr() string {
 	return n.ln.Addr().String()
 }
 
-// Close shuts the node down and waits for its goroutines.
+// Close shuts the node down gracefully: it stops accepting work, drains
+// already-queued queries for up to DrainTimeout so inflight searches get
+// their responses, then tears connections down and waits for its goroutines.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -202,18 +297,41 @@ func (n *Node) Close() error {
 	if n.ln != nil {
 		n.ln.Close()
 	}
+	if n.opts.DrainTimeout > 0 {
+		drained := make(chan struct{})
+		go func() {
+			n.qwg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(n.opts.DrainTimeout):
+			n.opts.Logf("p2p: drain timeout %v elapsed with queries pending", n.opts.DrainTimeout)
+		}
+	}
 	for _, c := range conns {
 		c.c.Close()
 	}
 	n.wg.Wait()
+	n.qwg.Wait()
 	return nil
 }
 
-// Stats reports the node's current shape.
+// Stats reports the node's current shape and overload accounting.
 type Stats struct {
 	Clients      int
 	Peers        int
 	IndexedFiles int
+	// QueriesHandled counts queries dispatched to completion.
+	QueriesHandled int64
+	// QueriesShed counts queries answered with Busy because the dispatch
+	// queue or a connection's inflight cap was full.
+	QueriesShed int64
+	// RateLimited counts client queries refused with Busy by the
+	// per-client token bucket.
+	RateLimited int64
+	// BusyReceived counts Busy frames received from overloaded peers.
+	BusyReceived int64
 }
 
 // Stats returns a snapshot of the node's state.
@@ -221,9 +339,13 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return Stats{
-		Clients:      len(n.clients),
-		Peers:        len(n.peers),
-		IndexedFiles: n.index.NumDocs(),
+		Clients:        len(n.clients),
+		Peers:          len(n.peers),
+		IndexedFiles:   n.index.NumDocs(),
+		QueriesHandled: n.queriesHandled.Load(),
+		QueriesShed:    n.queriesShed.Load(),
+		RateLimited:    n.rateLimited.Load(),
+		BusyReceived:   n.busyReceived.Load(),
 	}
 }
 
@@ -348,6 +470,7 @@ func (n *Node) ConnectPeer(addr string) error {
 		c.Close()
 		return errClosed
 	}
+	n.startWorkers()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -391,6 +514,76 @@ func (n *Node) heartbeatLoop() {
 			}
 		}
 	}
+}
+
+// enqueueQuery admits one arriving query into the dispatch queue, applying
+// the overload-protection ladder in order: per-client token bucket, per
+// connection inflight cap, then the node-wide queue bound. Every refusal is
+// an explicit, counted Busy response to the sender — never a silent drop —
+// and admission never blocks the connection's read loop.
+func (n *Node) enqueueQuery(c *conn, q *gnutella.Query, fromPeer bool) {
+	if !fromPeer && n.opts.ClientQueryRate > 0 &&
+		!c.bucket.take(time.Now(), n.opts.ClientQueryRate, n.opts.ClientQueryBurst) {
+		n.rateLimited.Add(1)
+		n.sendBusy(c, q)
+		return
+	}
+	if int(c.inflight.Load()) >= n.opts.MaxInflight {
+		n.queriesShed.Add(1)
+		n.sendBusy(c, q)
+		return
+	}
+	c.inflight.Add(1)
+	select {
+	case n.queue <- queryTask{c: c, q: q, fromPeer: fromPeer}:
+	case <-n.stop:
+		c.inflight.Add(-1) // shutting down; the connection dies with us
+	default:
+		c.inflight.Add(-1)
+		n.queriesShed.Add(1)
+		n.sendBusy(c, q)
+	}
+}
+
+// sendBusy answers a shed query. Best effort: if the link is already dead the
+// sender will learn from the connection error instead.
+func (n *Node) sendBusy(c *conn, q *gnutella.Query) {
+	if err := c.send(&gnutella.Busy{ID: q.ID, TTL: 1, Hops: q.Hops}); err != nil {
+		n.opts.Logf("p2p: busy to %s: %v", c.c.RemoteAddr(), err)
+	}
+}
+
+// queryWorker drains the dispatch queue. On shutdown it keeps draining until
+// the queue is empty — the graceful half of Close's drain window — and then
+// exits.
+func (n *Node) queryWorker() {
+	defer n.qwg.Done()
+	for {
+		select {
+		case t := <-n.queue:
+			n.dispatch(t)
+		case <-n.stop:
+			for {
+				select {
+				case t := <-n.queue:
+					n.dispatch(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch executes one admitted query.
+func (n *Node) dispatch(t queryTask) {
+	defer t.c.inflight.Add(-1)
+	if t.fromPeer {
+		n.handlePeerQuery(t.c, t.q)
+	} else {
+		n.handleClientQuery(t.c, t.q)
+	}
+	n.queriesHandled.Add(1)
 }
 
 // pruneLoop expires stale reverse-path routes.

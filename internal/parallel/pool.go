@@ -103,6 +103,44 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// MapStream is Map with ordered streaming: emit(i, v) is called for each
+// result in strict index order, as soon as every result up to and including
+// index i has completed — not at the end of the sweep. Emits are serialized
+// under one lock, so consumers need no locking of their own. Results emitted
+// before a failure stay emitted (that is the point: partial output survives
+// an interrupted sweep), but the returned slice is nil on error, exactly like
+// Map. A nil emit degrades to Map.
+func MapStream[T any](workers, n int, emit func(i int, v T), fn func(i int) (T, error)) ([]T, error) {
+	if emit == nil {
+		return Map(workers, n, fn)
+	}
+	out := make([]T, n)
+	var (
+		mu      sync.Mutex
+		done    = make([]bool, n)
+		flushed int
+	)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[i] = v
+		done[i] = true
+		for flushed < n && done[flushed] {
+			emit(flushed, out[flushed])
+			flushed++
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ForEachProgress is ForEach with a completion callback: after each task
 // succeeds, progress(done, n) reports the cumulative count. Calls are
 // serialized and done is strictly increasing, so callers can print progress

@@ -164,3 +164,55 @@ func TestMapProgressStopsReportingOnError(t *testing.T) {
 		t.Errorf("progress called %d times despite a failure", calls.Load())
 	}
 }
+
+func TestMapStreamEmitsInOrder(t *testing.T) {
+	for _, w := range []int{1, 3, 0} {
+		var emitted []int
+		got, err := MapStream(w, 50, func(i, v int) {
+			emitted = append(emitted, v)
+		}, func(i int) (int, error) { return i * 3, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(emitted) != 50 || len(got) != 50 {
+			t.Fatalf("workers=%d: emitted %d, returned %d", w, len(emitted), len(got))
+		}
+		for i, v := range emitted {
+			if v != i*3 {
+				t.Fatalf("workers=%d: emitted[%d] = %d, want %d (out of order)", w, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestMapStreamKeepsPrefixOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var emitted []int
+	got, err := MapStream(1, 10, func(i, v int) {
+		emitted = append(emitted, v)
+	}, func(i int) (int, error) {
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || got != nil {
+		t.Fatalf("err = %v, got = %v", err, got)
+	}
+	// Serial workers: exactly the prefix before the failure was emitted.
+	if len(emitted) != 4 {
+		t.Fatalf("emitted %v, want the 4-row prefix", emitted)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emitted[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapStreamNilEmit(t *testing.T) {
+	got, err := MapStream[int](2, 5, nil, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

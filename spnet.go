@@ -242,20 +242,49 @@ func WriteReportCSV(r *ExperimentReport, dir string) ([]string, error) {
 	return experiments.WriteCSV(r, dir)
 }
 
+// ReportCSVStream writes sweep rows to per-stage CSV files incrementally,
+// flushing after every row, so interrupted runs keep the sweep points that
+// completed. Plug its Row method into ExperimentParams.RowSink or
+// LiveReliabilityParams.RowSink.
+type ReportCSVStream = experiments.CSVStream
+
+// NewReportCSVStream creates a streaming CSV exporter for the given report
+// id under dir.
+func NewReportCSVStream(id, dir string) (*ReportCSVStream, error) {
+	return experiments.NewCSVStream(id, dir)
+}
+
+// LiveReliabilityParams and LiveReliabilityRegime shape the live reliability
+// experiment: the reliability experiment's failure regimes replayed against
+// a real TCP super-peer network through a wall-clock ↔ virtual-time bridge,
+// with seeded Poisson client query workloads.
+type (
+	LiveReliabilityParams = experiments.LiveParams
+	LiveReliabilityRegime = experiments.LiveRegime
+)
+
+// RunLiveReliability measures lost-query fraction, recovery time and
+// partial-result degradation on a live network, side by side with the
+// simulated reliability table.
+func RunLiveReliability(lp LiveReliabilityParams) (*ExperimentReport, error) {
+	return experiments.RunLiveReliability(lp)
+}
+
 // Node, NodeOptions, NodeClient and friends are the runnable super-peer
 // implementation over TCP: a Node serves clients and peers concurrently,
 // maintains an inverted index over its clients' titles, floods keyword
 // queries over its overlay links with a TTL, and routes Response messages
 // back along the reverse path — the system the paper models, live.
 type (
-	Node           = p2p.Node
-	NodeOptions    = p2p.Options
-	NodeStats      = p2p.Stats
-	NodeClient     = p2p.Client
-	SharedFile     = p2p.SharedFile
-	SearchResult   = p2p.SearchResult
-	SearchOutcome  = p2p.SearchOutcome
-	NeighborStatus = p2p.NeighborStatus
+	Node                = p2p.Node
+	NodeOptions         = p2p.Options
+	NodeStats           = p2p.Stats
+	NodeClient          = p2p.Client
+	SharedFile          = p2p.SharedFile
+	SearchResult        = p2p.SearchResult
+	SearchOutcome       = p2p.SearchOutcome
+	ClientSearchOutcome = p2p.ClientSearchOutcome
+	NeighborStatus      = p2p.NeighborStatus
 )
 
 // ClientDialOptions, ClientBackoff and ClientEvent configure a supervised
