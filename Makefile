@@ -20,4 +20,4 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...

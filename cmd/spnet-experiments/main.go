@@ -7,6 +7,7 @@
 //	spnet-experiments -exp fig4 [-scale 1.0] [-trials 3] [-seed 1]
 //	spnet-experiments -exp all -scale 0.2
 //	spnet-experiments -exp reliability -live [-live-scale 120] [-live-duration 600]
+//	spnet-experiments -exp loadvalidation
 package main
 
 import (
@@ -20,11 +21,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id, or 'all' (see -list)")
-		scale   = flag.Float64("scale", 1.0, "network-size multiplier (1.0 = paper scale)")
-		trials  = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
+		exp      = flag.String("exp", "", "experiment id, or 'all' (see -list)")
+		scale    = flag.Float64("scale", 1.0, "network-size multiplier (1.0 = paper scale)")
+		trials   = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
 		list     = flag.Bool("list", false, "list the available experiments")
 		csvDir   = flag.String("csv", "", "also write the report's tables and series as CSV files into this directory (streamed per sweep point: interrupted runs keep partial results)")
 		progress = flag.Bool("progress", false, "report per-sweep progress on stderr while experiments run")

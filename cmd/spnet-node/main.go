@@ -13,12 +13,18 @@
 //
 //	spnet-node -listen 127.0.0.1:7004 -peers 127.0.0.1:7001 \
 //	           -query "free jazz" -wait 2s
+//
+// Expose load telemetry (Prometheus /metrics, expvar /debug/vars, pprof):
+//
+//	spnet-node -listen 127.0.0.1:7001 -telemetry 127.0.0.1:9001
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +40,7 @@ func main() {
 		ttl     = flag.Int("ttl", 7, "TTL stamped on queries")
 		maxCl   = flag.Int("max-clients", 100, "maximum clients (cluster size - 1)")
 		maxPeer = flag.Int("max-peers", 30, "maximum overlay neighbors (outdegree)")
+		telem   = flag.String("telemetry", "", "serve load telemetry on this address: /metrics (Prometheus), /debug/vars (expvar), /debug/pprof/")
 		query   = flag.String("query", "", "run this keyword query from the node itself, print results, and exit")
 		wait    = flag.Duration("wait", 2*time.Second, "how long to collect results for -query")
 		verbose = flag.Bool("v", false, "log protocol diagnostics")
@@ -64,6 +71,21 @@ func main() {
 	defer node.Close()
 	fmt.Printf("super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers)\n",
 		node.Addr(), *ttl, *maxCl, *maxPeer)
+
+	if *telem != "" {
+		lis, err := net.Listen("tcp", *telem)
+		if err != nil {
+			log.Fatalf("telemetry listener: %v", err)
+		}
+		srv := &http.Server{Handler: spnet.TelemetryHandler(node.Metrics().Registry())}
+		go func() {
+			if err := srv.Serve(lis); err != http.ErrServerClosed {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", lis.Addr())
+	}
 
 	for _, addr := range strings.Split(*peers, ",") {
 		addr = strings.TrimSpace(addr)

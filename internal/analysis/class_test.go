@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"testing"
+
+	"spnet/internal/metrics"
+	"spnet/internal/network"
+)
+
+// TestSuperPeerClassBpsConsistent checks the analytical taxonomy breakdown:
+// per cluster, the class cells must sum to the per-partner load's
+// bandwidth, with query/response/join/update all populated and the
+// live-only classes empty. Both overlay engines (clique closed form and
+// generic BFS) are covered.
+func TestSuperPeerClassBpsConsistent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  func() network.Config
+	}{
+		{"clique", func() network.Config {
+			cfg := network.DefaultConfig()
+			cfg.GraphSize = 150
+			return cfg
+		}},
+		{"powerlaw", func() network.Config {
+			cfg := network.DefaultConfig()
+			cfg.GraphType = network.PowerLaw
+			cfg.GraphSize = 400
+			cfg.AvgOutdegree = 3.1
+			cfg.TTL = 7
+			return cfg
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := generate(t, tc.cfg(), nil, 9)
+			res := Evaluate(inst)
+			var agg metrics.ByClass
+			for v := range inst.Clusters {
+				cls := res.SuperPeerClassBps(v)
+				load := res.SuperPeerLoad(v)
+				for d, tot := range map[metrics.Dir]float64{
+					metrics.DirIn:  load.InBps,
+					metrics.DirOut: load.OutBps,
+				} {
+					sum := 0.0
+					for c := 0; c < metrics.NumClasses; c++ {
+						sum += cls.Get(metrics.Class(c), d)
+					}
+					if relDiff(sum, tot) > 1e-9 {
+						t.Errorf("cluster %d dir %v: class sum %v != load %v", v, d, sum, tot)
+					}
+				}
+				agg.Merge(cls)
+			}
+			for _, c := range []metrics.Class{
+				metrics.ClassQuery, metrics.ClassResponse, metrics.ClassJoin, metrics.ClassUpdate,
+			} {
+				if agg.Sum(metrics.DirIn, c)+agg.Sum(metrics.DirOut, c) == 0 {
+					t.Errorf("no bytes attributed to class %v", c)
+				}
+			}
+			for _, c := range []metrics.Class{metrics.ClassBusy, metrics.ClassPing, metrics.ClassOther} {
+				if agg.Sum(metrics.DirIn, c)+agg.Sum(metrics.DirOut, c) != 0 {
+					t.Errorf("bytes attributed to live-only class %v", c)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"spnet/internal/cost"
 	"spnet/internal/gnutella"
+	"spnet/internal/metrics"
 	"spnet/internal/network"
 )
 
@@ -34,6 +35,13 @@ type Result struct {
 	clientJoin   [][]rawLoad // per cluster, per client: the join component
 	respToSource []flow      // per cluster: total response flow for a query sourced there
 	bd           bdAcc       // system-wide component attribution
+
+	// Per-class super-peer byte rates (bytes/sec) mirroring spShared and
+	// spPerPartner, attributed to the Table 2 taxonomy classes live nodes
+	// meter. Accumulated additively alongside the rawLoad charges so the
+	// existing float summation order — and thus determinism — is untouched.
+	spSharedCls     []metrics.ByClass
+	spPerPartnerCls []metrics.ByClass
 }
 
 // evaluator carries the working state of one evaluation.
@@ -107,12 +115,14 @@ func Evaluate(inst *network.Instance) *Result {
 	e := &evaluator{
 		inst: inst,
 		res: &Result{
-			Inst:         inst,
-			spShared:     make([]rawLoad, n),
-			spPerPartner: make([]rawLoad, n),
-			clientBase:   make([]rawLoad, n),
-			clientJoin:   make([][]rawLoad, n),
-			respToSource: make([]flow, n),
+			Inst:            inst,
+			spShared:        make([]rawLoad, n),
+			spPerPartner:    make([]rawLoad, n),
+			clientBase:      make([]rawLoad, n),
+			clientJoin:      make([][]rawLoad, n),
+			respToSource:    make([]flow, n),
+			spSharedCls:     make([]metrics.ByClass, n),
+			spPerPartnerCls: make([]metrics.ByClass, n),
 		},
 		users:      make([]float64, n),
 		qWeight:    make([]float64, n),
@@ -170,6 +180,7 @@ func (e *evaluator) evalGraphQueries() {
 	e.scratch = getScratch(n)
 
 	sp := e.res.spShared
+	cls := e.res.spSharedCls
 	for s := 0; s < n; s++ {
 		w := e.qWeight[s]
 		if w == 0 {
@@ -196,9 +207,11 @@ func (e *evaluator) evalGraphQueries() {
 				sp[u].outBytes += w * e.qBytes
 				sp[u].procU += w * e.sendQProc
 				sp[u].msgs += w
+				cls[u].Add(metrics.ClassQuery, metrics.DirOut, w*e.qBytes)
 				sp[nb].inBytes += w * e.qBytes
 				sp[nb].procU += w * e.recvQProc
 				sp[nb].msgs += w
+				cls[nb].Add(metrics.ClassQuery, metrics.DirIn, w*e.qBytes)
 				e.res.bd.queryTransfer(w, e.qBytes, e.sendQProc, e.recvQProc)
 				return true
 			})
@@ -227,9 +240,11 @@ func (e *evaluator) evalGraphQueries() {
 			sp[v].outBytes += w * b
 			sp[v].procU += w * sendRespProc(f)
 			sp[v].msgs += w * f.msgs
+			cls[v].Add(metrics.ClassResponse, metrics.DirOut, w*b)
 			sp[p].inBytes += w * b
 			sp[p].procU += w * recvRespProc(f)
 			sp[p].msgs += w * f.msgs
+			cls[p].Add(metrics.ClassResponse, metrics.DirIn, w*b)
 			e.res.bd.respTransfer(w, b, sendRespProc(f), recvRespProc(f))
 			e.scratch.flowBuf[p].add(f)
 		}
@@ -301,6 +316,7 @@ func (e *evaluator) evalCliqueQueries() {
 	n := e.inst.Graph.N()
 	ttl := e.inst.Config.TTL
 	sp := e.res.spShared
+	cls := e.res.spSharedCls
 
 	var totFlow flow
 	var totW, totUsers float64
@@ -342,9 +358,11 @@ func (e *evaluator) evalCliqueQueries() {
 		sp[v].outBytes += w * float64(n-1) * e.qBytes
 		sp[v].procU += w * float64(n-1) * e.sendQProc
 		sp[v].msgs += w * float64(n-1)
+		cls[v].Add(metrics.ClassQuery, metrics.DirOut, w*float64(n-1)*e.qBytes)
 		sp[v].inBytes += w * respBytes(rem)
 		sp[v].procU += w * recvRespProc(rem)
 		sp[v].msgs += w * rem.msgs
+		cls[v].Add(metrics.ClassResponse, metrics.DirIn, w*respBytes(rem))
 		e.res.respToSource[v] = totFlow
 		e.res.bd.queryTransfer(w*float64(n-1), e.qBytes, e.sendQProc, e.recvQProc)
 
@@ -359,14 +377,17 @@ func (e *evaluator) evalCliqueQueries() {
 		sp[v].inBytes += wr * copies * e.qBytes
 		sp[v].procU += wr * copies * e.recvQProc
 		sp[v].msgs += wr * copies
+		cls[v].Add(metrics.ClassQuery, metrics.DirIn, wr*copies*e.qBytes)
 		sp[v].outBytes += wr * respBytes(e.own[v])
 		sp[v].procU += wr * sendRespProc(e.own[v])
 		sp[v].msgs += wr * e.own[v].msgs
+		cls[v].Add(metrics.ClassResponse, metrics.DirOut, wr*respBytes(e.own[v]))
 		e.res.bd.respTransfer(wr, respBytes(e.own[v]), sendRespProc(e.own[v]), recvRespProc(e.own[v]))
 		if dupCopies > 0 {
 			sp[v].outBytes += wr * dupCopies * e.qBytes
 			sp[v].procU += wr * dupCopies * e.sendQProc
 			sp[v].msgs += wr * dupCopies
+			cls[v].Add(metrics.ClassQuery, metrics.DirOut, wr*dupCopies*e.qBytes)
 			e.res.bd.queryTransfer(wr*dupCopies, e.qBytes, e.sendQProc, e.recvQProc)
 		}
 
@@ -403,6 +424,8 @@ func (e *evaluator) evalClientLegs() {
 			sp[v].outBytes += wc * b
 			sp[v].procU += wc * sendRespProc(total)
 			sp[v].msgs += wc * total.msgs
+			e.res.spSharedCls[v].Add(metrics.ClassQuery, metrics.DirIn, wc*e.qBytes)
+			e.res.spSharedCls[v].Add(metrics.ClassResponse, metrics.DirOut, wc*b)
 			e.res.bd.queryTransfer(wc, e.qBytes, e.sendQProc, e.recvQProc)
 			e.res.bd.respTransfer(wc, b, sendRespProc(total), recvRespProc(total))
 		}
@@ -444,6 +467,7 @@ func (e *evaluator) evalJoins() {
 			pp.inBytes += jr * float64(jb)
 			pp.procU += jr * (float64(jpR) + float64(cost.ProcessJoin(c.Files)))
 			pp.msgs += jr
+			e.res.spPerPartnerCls[v].Add(metrics.ClassJoin, metrics.DirIn, jr*float64(jb))
 			e.res.bd.join(2*jr*k*float64(jb),
 				jr*k*(float64(jpS)+float64(jpR)+float64(cost.ProcessJoin(c.Files))))
 		}
@@ -471,6 +495,8 @@ func (e *evaluator) evalJoins() {
 		pp.outBytes += outB / k
 		pp.procU += proc / k
 		pp.msgs += msgs / k
+		e.res.spPerPartnerCls[v].Add(metrics.ClassJoin, metrics.DirIn, inB/k)
+		e.res.spPerPartnerCls[v].Add(metrics.ClassJoin, metrics.DirOut, outB/k)
 		// inB/outB/proc are totals across the k partners, which is exactly
 		// this cluster's aggregate contribution.
 		e.res.bd.join(inB+outB, proc)
@@ -507,6 +533,7 @@ func (e *evaluator) evalUpdates() {
 		pp.inBytes += wc * float64(ub)
 		pp.procU += wc * (float64(upR) + float64(upP))
 		pp.msgs += wc
+		e.res.spPerPartnerCls[v].Add(metrics.ClassUpdate, metrics.DirIn, wc*float64(ub))
 
 		// Partners' own updates: applied locally; with k-redundancy also
 		// shipped to the k-1 co-partners (symmetric, so per-partner load is
@@ -518,6 +545,8 @@ func (e *evaluator) evalUpdates() {
 			pp.inBytes += uRate * co * float64(ub)
 			pp.procU += uRate*co*float64(upS) + uRate*co*(float64(upR)+float64(upP))
 			pp.msgs += 2 * co * uRate
+			e.res.spPerPartnerCls[v].Add(metrics.ClassUpdate, metrics.DirOut, uRate*co*float64(ub))
+			e.res.spPerPartnerCls[v].Add(metrics.ClassUpdate, metrics.DirIn, uRate*co*float64(ub))
 			e.res.bd.update(2*uRate*co*float64(ub)*k,
 				uRate*co*k*(float64(upS)+float64(upR)+float64(upP)))
 		}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"spnet/internal/metrics"
 	"spnet/internal/network"
 )
 
@@ -14,6 +15,17 @@ func (r *Result) SuperPeerLoad(v int) Load {
 	raw.scale(1 / float64(r.Inst.Config.Partners()))
 	raw.add(r.spPerPartner[v])
 	return raw.finalize(r.Inst.SuperPeerConns(v))
+}
+
+// SuperPeerClassBps returns the expected per-partner bandwidth of one
+// super-peer partner of cluster v broken down by Table 2 taxonomy class and
+// direction, in bits per second — the analytical counterpart of the
+// spnet_message_bytes_total series live nodes and the simulator emit. The
+// class cells sum to SuperPeerLoad(v)'s InBps/OutBps.
+func (r *Result) SuperPeerClassBps(v int) metrics.ByClass {
+	cls := r.spSharedCls[v].Scale(1 / float64(r.Inst.Config.Partners()))
+	cls.Merge(r.spPerPartnerCls[v])
+	return cls.Scale(8)
 }
 
 // ClientLoad returns the expected load of client i of cluster v.

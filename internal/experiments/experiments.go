@@ -158,6 +158,7 @@ var registry = []definition{
 	{"kredundancy", "Extension: general k-redundancy sweep (paper evaluates k=2 only)", runKRedundancy},
 	{"reliability", "Extension: failure injection — measuring the Section 3.2 reliability claim", runReliability},
 	{"breakdown", "Ablation: aggregate load attributed to protocol components", runBreakdown},
+	{"loadvalidation", "Validation: analytical vs simulated vs live-measured super-peer load", runLoadValidationDefault},
 }
 
 // IDs lists the registered experiment ids in order.

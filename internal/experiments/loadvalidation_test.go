@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"spnet/internal/metrics"
+)
+
+// TestLoadValidationE2E boots the full three-way validation on a small
+// deterministic configuration: live TCP super-peers with scraped telemetry
+// against the analytical model and the discrete-event simulator. The live
+// measured query+response bandwidth must agree with the analytical
+// prediction within a tolerance dominated by Poisson sampling noise.
+func TestLoadValidationE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live network for several wall seconds")
+	}
+	res, err := RunLoadValidationResult(LoadValidationParams{
+		Duration:    600,
+		TimeScale:   150,
+		SimDuration: 3000,
+		Seed:        42,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for v, row := range res.Rows {
+		if want := fmt.Sprintf("sp-%d-0", v); row.ID != want {
+			t.Errorf("row %d id %q, want %q", v, row.ID, want)
+		}
+		for _, d := range []metrics.Dir{metrics.DirIn, metrics.DirOut} {
+			model := queryRespBps(row.Model, d)
+			if model <= 0 {
+				t.Fatalf("%s dir %v: analytical prediction is %v", row.ID, d, model)
+			}
+			if live := queryRespBps(row.Live, d); live <= 0 {
+				t.Errorf("%s dir %v: no live bytes measured", row.ID, d)
+			}
+			if e := relErr(queryRespBps(row.Sim, d), model); e > 0.10 {
+				t.Errorf("%s dir %v: simulator off by %.1f%% (> 10%%)", row.ID, d, 100*e)
+			}
+		}
+	}
+	if e := res.MaxRelErrLiveVsModel(); e > 0.30 {
+		t.Errorf("live vs model worst query+response error %.1f%% exceeds 30%%", 100*e)
+	} else {
+		t.Logf("live vs model worst query+response error: %.1f%%", 100*e)
+	}
+	if res.Report == nil || len(res.Report.Tables) != 1 {
+		t.Fatalf("report missing comparison table")
+	}
+	if got, want := len(res.Report.Tables[0].Rows), 3*6; got != want {
+		t.Errorf("table has %d rows, want %d", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterHotPath measures the cost of one hot-path counter update.
+func BenchmarkCounterHotPath(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter never incremented")
+	}
+}
+
+// BenchmarkLoadMeterObserve measures one full message attribution.
+func BenchmarkLoadMeterObserve(b *testing.B) {
+	var m LoadMeter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe(ClassQuery, DirIn, 138)
+	}
+}
+
+// nopConn is a no-op net.Conn, isolating the metering overhead itself.
+type nopConn struct{ net.Conn }
+
+func (nopConn) Write(p []byte) (int, error) { return len(p), nil }
+func (nopConn) Read(p []byte) (int, error)  { return len(p), nil }
+func (nopConn) Close() error                { return nil }
+func (nopConn) SetDeadline(time.Time) error { return nil }
+
+func TestMeteredConnAllocFree(t *testing.T) {
+	var in, out Counter
+	mc := NewMeteredConn(nopConn{}, &in, &out)
+	buf := make([]byte, 512)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := mc.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mc.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("MeteredConn Read+Write allocates %.1f per op, want 0", allocs)
+	}
+	if in.Value() == 0 || out.Value() == 0 {
+		t.Error("metered bytes not counted")
+	}
+}
+
+func newTCPPair(b *testing.B) (client, server net.Conn) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, ok := <-accepted
+	if !ok {
+		b.Fatal("accept failed")
+	}
+	return client, server
+}
+
+func benchConnWrites(b *testing.B, c net.Conn, drain net.Conn) {
+	go io.Copy(io.Discard, drain) //nolint:errcheck
+	buf := make([]byte, 1024)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeteredConn compares 1 KiB writes over loopback TCP through a
+// bare conn vs a MeteredConn — the end-to-end context for the overhead
+// budget. Loopback TCP writes carry substantial run-to-run noise (socket
+// buffer autotuning, receiver scheduling), so the precise wrapper cost is
+// measured by BenchmarkMeteredConnOverhead; this benchmark shows the two
+// distributions overlap (see EXPERIMENTS.md for recorded numbers).
+func BenchmarkMeteredConn(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		client, server := newTCPPair(b)
+		defer client.Close()
+		defer server.Close()
+		benchConnWrites(b, client, server)
+	})
+	b.Run("metered", func(b *testing.B) {
+		client, server := newTCPPair(b)
+		defer client.Close()
+		defer server.Close()
+		var in, out Counter
+		benchConnWrites(b, NewMeteredConn(client, &in, &out), server)
+	})
+}
+
+// BenchmarkMeteredConnOverhead isolates the wrapper's per-write cost with a
+// no-op inner conn: the bare/metered delta is the exact metering overhead
+// per call, free of kernel noise. Divided by the ~1 µs a real loopback TCP
+// write costs (BenchmarkMeteredConn), it is the overhead fraction asserted
+// to stay under 5%.
+func BenchmarkMeteredConnOverhead(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.Run("bare", func(b *testing.B) {
+		var c net.Conn = nopConn{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metered", func(b *testing.B) {
+		var in, out Counter
+		var c net.Conn = NewMeteredConn(nopConn{}, &in, &out)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

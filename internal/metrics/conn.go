@@ -1,0 +1,34 @@
+package metrics
+
+import "net"
+
+// MeteredConn wraps a net.Conn and counts every byte that crosses it into
+// two counters. Attribution is at the socket layer — handshake lines and
+// partial frames included — complementing the message-level LoadMeter.
+// Read and Write add one atomic counter update each and are allocation-free.
+type MeteredConn struct {
+	net.Conn
+	in, out *Counter
+}
+
+// NewMeteredConn wraps c, charging received bytes to in and sent bytes to
+// out.
+func NewMeteredConn(c net.Conn, in, out *Counter) *MeteredConn {
+	return &MeteredConn{Conn: c, in: in, out: out}
+}
+
+func (m *MeteredConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	if n > 0 {
+		m.in.Add(int64(n))
+	}
+	return n, err
+}
+
+func (m *MeteredConn) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p)
+	if n > 0 {
+		m.out.Add(int64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default upper bounds (seconds) for service-time
+// histograms, spanning sub-millisecond local hits to multi-second floods.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is >= the value, with an implicit +Inf overflow
+// bucket. Observe is lock-free and allocation-free; Snapshot is a best-effort
+// concurrent read (each cell is read atomically, the set of cells is not a
+// single consistent cut — totals are exact once writers have quiesced).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    FloatCounter
+}
+
+// NewHistogram builds a histogram with the given strictly increasing upper
+// bounds. It panics on an empty or non-increasing bound list (a programming
+// error, like a bad metric name).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly increasing at %v", bounds[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the current bucket counts, total count and sum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable for
+// merging across nodes or runs.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, strictly increasing
+	Counts []uint64  // len(Bounds)+1; last is the +Inf bucket
+	Count  uint64
+	Sum    float64
+}
+
+// Merge adds another snapshot into s. The two snapshots must share the same
+// bucket bounds.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(s.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d buckets", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("metrics: merging histograms with mismatched bound %v vs %v", s.Bounds[i], o.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return nil
+}

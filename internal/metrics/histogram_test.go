@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1} // (≤1)=0.5,1  (≤10)=5  (≤100)=50  (+Inf)=500
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 556.5 {
+		t.Errorf("Sum = %v, want 556.5", s.Sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many goroutines
+// while snapshots are taken concurrently, then checks the quiesced totals
+// are exact. Run under -race this also proves Observe/Snapshot are safe.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := NewHistogram([]float64{0.25, 0.5, 0.75})
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count > workers*per {
+				t.Errorf("mid-run Count = %d exceeds total writes %d", s.Count, workers*per)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := float64(w%4) * 0.25 // 0, 0.25, 0.5, 0.75: exact in binary
+			for i := 0; i < per; i++ {
+				h.Observe(v)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	// workers 0..7 map to values {0, 0.25, 0.5, 0.75} twice over: 0 and
+	// 0.25 both land in the ≤0.25 bucket, 0.5 and 0.75 in their own, and
+	// nothing overflows to +Inf.
+	wantBuckets := []uint64{4 * per, 2 * per, 2 * per, 0}
+	for i, w := range wantBuckets {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	wantSum := 2 * per * (0 + 0.25 + 0.5 + 0.75)
+	if s.Sum != float64(wantSum) {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(3)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 3 || sa.Counts[0] != 1 || sa.Counts[1] != 1 || sa.Counts[2] != 1 {
+		t.Errorf("merged = %+v", sa)
+	}
+	if sa.Sum != 5 {
+		t.Errorf("merged Sum = %v, want 5", sa.Sum)
+	}
+
+	c := NewHistogram([]float64{1, 3}).Snapshot()
+	if err := sa.Merge(c); err == nil {
+		t.Error("merging mismatched bounds did not error")
+	}
+	d := NewHistogram([]float64{1}).Snapshot()
+	if err := sa.Merge(d); err == nil {
+		t.Error("merging different bucket counts did not error")
+	}
+}
+
+// TestHistogramConcurrentMerge merges per-worker snapshots taken after each
+// worker finishes, under -race, and checks the combined totals.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const workers, per = 6, 500
+	snaps := make([]HistogramSnapshot, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := NewHistogram([]float64{10, 20})
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w * 5)) // 0,5 → b0; 10 → b0; 15,20 → b1; 25 → +Inf
+			}
+			snaps[w] = h.Snapshot()
+		}()
+	}
+	wg.Wait()
+	total := snaps[0]
+	for _, s := range snaps[1:] {
+		if err := total.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total.Count != workers*per {
+		t.Fatalf("merged Count = %d, want %d", total.Count, workers*per)
+	}
+	if total.Counts[0] != 3*per || total.Counts[1] != 2*per || total.Counts[2] != per {
+		t.Errorf("merged buckets = %v", total.Counts)
+	}
+}

@@ -2,9 +2,12 @@ package network
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 
 	"spnet/internal/faults"
+	"spnet/internal/metrics"
 	"spnet/internal/p2p"
 )
 
@@ -21,6 +24,11 @@ type LiveConfig struct {
 	Partners int
 	// Seed drives the fault controller's randomness.
 	Seed uint64
+	// Telemetry starts a loopback HTTP server per super-peer serving the
+	// node's metrics registry (Prometheus text, expvar JSON, pprof) — the
+	// same handler spnet-node exposes for -telemetry. Addresses are pinned
+	// across kill/restart and reported by SuperPeers.
+	Telemetry bool
 	// Node is the base configuration applied to every super-peer; its
 	// Wrap/Dial hooks are overwritten to route through the fault
 	// controller.
@@ -37,10 +45,13 @@ func (c *LiveConfig) setDefaults() {
 }
 
 // liveNode is one super-peer slot. The listen address is pinned at launch so
-// a restarted super-peer reappears where clients and peers expect it.
+// a restarted super-peer reappears where clients and peers expect it; the
+// telemetry address is pinned the same way so scrapers survive restarts.
 type liveNode struct {
-	node *p2p.Node // nil while killed
-	addr string
+	node    *p2p.Node // nil while killed
+	addr    string
+	telAddr string       // telemetry HTTP address, "" unless LiveConfig.Telemetry
+	telSrv  *http.Server // nil while killed or telemetry disabled
 }
 
 // Live runs a real super-peer network on loopback and orchestrates churn
@@ -89,6 +100,10 @@ func (l *Live) Launch() error {
 			}
 			ln.addr = ln.node.Addr()
 			l.nodes[c][p] = ln
+			if err := l.startTelemetryLocked(ln); err != nil {
+				l.closeLocked()
+				return err
+			}
 		}
 	}
 	for c := range l.nodes {
@@ -100,6 +115,67 @@ func (l *Live) Launch() error {
 		}
 	}
 	return nil
+}
+
+// startTelemetryLocked serves the slot node's metrics registry over HTTP. The
+// first start picks a free loopback port; restarts rebind the pinned address.
+func (l *Live) startTelemetryLocked(ln *liveNode) error {
+	if !l.cfg.Telemetry {
+		return nil
+	}
+	addr := ln.telAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ln.telAddr = lis.Addr().String()
+	ln.telSrv = &http.Server{Handler: metrics.Handler(ln.node.Metrics().Registry())}
+	go ln.telSrv.Serve(lis)
+	return nil
+}
+
+// stopTelemetry shuts a slot's telemetry server down, keeping the pinned
+// address for a later restart. Safe on nil.
+func stopTelemetry(srv *http.Server) {
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// SuperPeerInfo identifies one live super-peer slot. The Live harness reports
+// slots in stable cluster-major, partner-minor order with addresses pinned
+// across kill/restart, so scrape loops and result tables are deterministic.
+type SuperPeerInfo struct {
+	Cluster int    // cluster index on the ring
+	Partner int    // partner rank within the cluster
+	ID      string // stable label, "sp-<cluster>-<partner>"
+	Addr    string // p2p listen address (pinned across restarts)
+	// Telemetry is the HTTP metrics address, "" unless LiveConfig.Telemetry.
+	Telemetry string
+}
+
+// SuperPeers enumerates every super-peer slot in stable cluster-major,
+// partner-minor order — including killed slots, whose addresses remain valid
+// for when they return.
+func (l *Live) SuperPeers() []SuperPeerInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SuperPeerInfo, 0, len(l.nodes)*l.cfg.Partners)
+	for c := range l.nodes {
+		for p, ln := range l.nodes[c] {
+			if ln == nil {
+				continue
+			}
+			out = append(out, SuperPeerInfo{
+				Cluster: c, Partner: p,
+				ID: label(c, p), Addr: ln.addr, Telemetry: ln.telAddr,
+			})
+		}
+	}
+	return out
 }
 
 // newNode builds a super-peer whose connections all pass through the fault
@@ -201,11 +277,14 @@ func (l *Live) KillSuperPeer(cluster, partner int) error {
 	l.mu.Lock()
 	ln := l.nodes[cluster][partner]
 	n := ln.node
+	srv := ln.telSrv
 	ln.node = nil
+	ln.telSrv = nil
 	l.mu.Unlock()
 	if n == nil {
 		return fmt.Errorf("network: super-peer %d/%d already dead", cluster, partner)
 	}
+	stopTelemetry(srv)
 	l.ctrl.ResetNode(label(cluster, partner))
 	return n.Close()
 }
@@ -228,6 +307,11 @@ func (l *Live) RestartSuperPeer(cluster, partner int) error {
 		return err
 	}
 	ln.node = n
+	if err := l.startTelemetryLocked(ln); err != nil {
+		ln.node = nil
+		n.Close()
+		return err
+	}
 	return l.reconnectLocked(cluster, partner, n)
 }
 
@@ -269,7 +353,12 @@ func (l *Live) closeLocked() error {
 	var first error
 	for _, cluster := range l.nodes {
 		for _, ln := range cluster {
-			if ln == nil || ln.node == nil {
+			if ln == nil {
+				continue
+			}
+			stopTelemetry(ln.telSrv)
+			ln.telSrv = nil
+			if ln.node == nil {
 				continue
 			}
 			if err := ln.node.Close(); err != nil && first == nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spnet/internal/gnutella"
+	"spnet/internal/metrics"
 	"spnet/internal/stats"
 )
 
@@ -270,6 +271,10 @@ type DialOptions struct {
 	HeartbeatInterval time.Duration
 	// Seed drives the jitter stream (fixed seed → fixed delays).
 	Seed uint64
+	// Metrics, when set, meters the client's traffic: raw socket bytes and
+	// per-message load-taxonomy attribution land in this metric set, under
+	// the same names super-peers use.
+	Metrics *metrics.NodeMetrics
 	// Dial, when set, replaces the dialer (fault-injection hook).
 	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// OnEvent, when set, observes failover progress. Called synchronously
@@ -398,6 +403,9 @@ func (cl *Client) dialOne(addr string) (net.Conn, *bufio.Reader, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("p2p: dialing super-peer %s: %w", addr, err)
 	}
+	if nm := cl.opts.Metrics; nm != nil {
+		c = metrics.NewMeteredConn(c, nm.ConnBytes[metrics.DirIn], nm.ConnBytes[metrics.DirOut])
+	}
 	if _, err := fmt.Fprintf(c, "%s\n", helloClient); err != nil {
 		c.Close()
 		return nil, nil, err
@@ -438,7 +446,13 @@ func (cl *Client) writeMsg(c net.Conn, m gnutella.Message) error {
 	cl.wmu.Lock()
 	defer cl.wmu.Unlock()
 	c.SetWriteDeadline(time.Now().Add(cl.opts.WriteTimeout))
-	return gnutella.WriteMessage(c, m)
+	if err := gnutella.WriteMessage(c, m); err != nil {
+		return err
+	}
+	if nm := cl.opts.Metrics; nm != nil {
+		gnutella.Meter(nm.Load, metrics.DirOut, m)
+	}
+	return nil
 }
 
 // markBroken flags the given connection dead (if it is still the live one)
@@ -712,6 +726,11 @@ func (cl *Client) SearchDetailed(query string, window time.Duration) (*ClientSea
 			return out, err
 		}
 		msg, err := gnutella.ReadMessage(br)
+		if err == nil {
+			if nm := cl.opts.Metrics; nm != nil {
+				gnutella.Meter(nm.Load, metrics.DirIn, msg)
+			}
+		}
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() && time.Now().After(deadline) {
 				// Window elapsed: results are complete. Restore the

@@ -8,8 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spnet/internal/cost"
 	"spnet/internal/gnutella"
 	"spnet/internal/index"
+	"spnet/internal/metrics"
 )
 
 // conn is one TCP link — to a client or to a neighbor super-peer. A mutex
@@ -76,7 +78,11 @@ func (c *conn) send(m gnutella.Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.c.SetWriteDeadline(time.Now().Add(c.node.opts.WriteTimeout))
-	return gnutella.WriteMessage(c.c, m)
+	if err := gnutella.WriteMessage(c.c, m); err != nil {
+		return err
+	}
+	c.node.meterMessage(metrics.DirOut, m)
+	return nil
 }
 
 // read returns the link's next message under the node's hard read limits: a
@@ -106,6 +112,7 @@ func (c *conn) read() (gnutella.Message, error) {
 			return nil, err
 		}
 	}
+	c.node.meterMessage(metrics.DirIn, m)
 	return m, nil
 }
 
@@ -149,6 +156,7 @@ func (n *Node) runClient(c *conn) {
 // handleClientJoin registers (or replaces) the client's collection: the
 // super-peer "will add this metadata to its index" (Section 3.2).
 func (n *Node) handleClientJoin(c *conn, j *gnutella.Join) {
+	n.metrics.ProcUnits.Add(float64(cost.ProcessJoin(len(j.Files))))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if c.owner < 0 {
@@ -207,6 +215,7 @@ func (n *Node) handleClientQuery(c *conn, q *gnutella.Query) {
 
 // handleClientUpdate applies a single-item collection change.
 func (n *Node) handleClientUpdate(c *conn, u *gnutella.Update) {
+	n.metrics.ProcUnits.Add(float64(cost.ProcessUpdateCost()))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	doc := index.DocID{Owner: c.owner, File: u.File.FileIndex}
@@ -329,7 +338,7 @@ func (n *Node) handleQueryHit(h *gnutella.QueryHit) {
 // degraded coverage. For locally originated searches the count lands on the
 // route entry's busy counter.
 func (n *Node) handleBusy(b *gnutella.Busy) {
-	n.busyReceived.Add(1)
+	n.metrics.BusyReceived.Inc()
 	n.mu.Lock()
 	rt, ok := n.routes[b.ID]
 	var target *conn
@@ -388,9 +397,11 @@ func (n *Node) peerListLocked(except *conn) []*conn {
 func (n *Node) searchLocked(id gnutella.GUID, text string) *gnutella.QueryHit {
 	terms := titleTerms(text)
 	if len(terms) == 0 {
+		n.meterProcessQuery(0)
 		return nil
 	}
 	matches := n.index.Search(terms)
+	n.meterProcessQuery(len(matches))
 	if len(matches) == 0 {
 		return nil
 	}

@@ -24,6 +24,7 @@ import (
 
 	"spnet/internal/gnutella"
 	"spnet/internal/index"
+	"spnet/internal/metrics"
 )
 
 // Protocol handshake lines.
@@ -206,11 +207,11 @@ type Node struct {
 	qwg         sync.WaitGroup
 	workersOnce sync.Once
 
-	// Overload accounting (atomic; reported by Stats).
-	queriesHandled atomic.Int64
-	queriesShed    atomic.Int64
-	rateLimited    atomic.Int64
-	busyReceived   atomic.Int64
+	// metrics is the node's observability surface: every byte and message is
+	// attributed to the Table 2 load taxonomy, and the overload ladder's
+	// outcomes are counted by reason and source class. Reported by Stats and
+	// exposed over HTTP via metrics.Handler(node.Metrics().Registry()).
+	metrics *metrics.NodeMetrics
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -235,9 +236,14 @@ func NewNode(opts Options) *Node {
 		conns:   make(map[*conn]struct{}),
 		routes:  make(map[gnutella.GUID]*routeEntry),
 		queue:   make(chan queryTask, opts.QueueDepth),
+		metrics: metrics.NewNodeMetrics(),
 		stop:    make(chan struct{}),
 	}
 }
+
+// Metrics returns the node's metric set; serve its registry with
+// metrics.Handler for the /metrics, /debug/vars and /debug/pprof surface.
+func (n *Node) Metrics() *metrics.NodeMetrics { return n.metrics }
 
 // startWorkers launches the query dispatch pool once, from whichever entry
 // point (Listen or ConnectPeer) first makes the node reachable.
@@ -325,10 +331,19 @@ type Stats struct {
 	// QueriesHandled counts queries dispatched to completion.
 	QueriesHandled int64
 	// QueriesShed counts queries answered with Busy because the dispatch
-	// queue or a connection's inflight cap was full.
+	// queue or a connection's inflight cap was full, across both source
+	// classes: QueriesShedClient + QueriesShedPeer.
 	QueriesShed int64
+	// QueriesShedClient counts shed queries that arrived on local client
+	// legs; QueriesShedPeer counts shed queries forwarded by neighbor
+	// super-peers. The split tells an operator whether overload pressure is
+	// the node's own cluster or the overlay. Neither includes rate-limited
+	// queries.
+	QueriesShedClient int64
+	QueriesShedPeer   int64
 	// RateLimited counts client queries refused with Busy by the
-	// per-client token bucket.
+	// per-client token bucket (always client-sourced: peers are not
+	// token-bucketed).
 	RateLimited int64
 	// BusyReceived counts Busy frames received from overloaded peers.
 	BusyReceived int64
@@ -336,16 +351,22 @@ type Stats struct {
 
 // Stats returns a snapshot of the node's state.
 func (n *Node) Stats() Stats {
+	m := n.metrics
+	rateLimited := m.Shed[metrics.ShedRateLimit][metrics.SourceClient].Value()
+	shedClient := m.ShedTotal(metrics.SourceClient) - rateLimited
+	shedPeer := m.ShedTotal(metrics.SourcePeer)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return Stats{
-		Clients:        len(n.clients),
-		Peers:          len(n.peers),
-		IndexedFiles:   n.index.NumDocs(),
-		QueriesHandled: n.queriesHandled.Load(),
-		QueriesShed:    n.queriesShed.Load(),
-		RateLimited:    n.rateLimited.Load(),
-		BusyReceived:   n.busyReceived.Load(),
+		Clients:           len(n.clients),
+		Peers:             len(n.peers),
+		IndexedFiles:      n.index.NumDocs(),
+		QueriesHandled:    m.QueriesHandled.Value(),
+		QueriesShed:       shedClient + shedPeer,
+		QueriesShedClient: shedClient,
+		QueriesShedPeer:   shedPeer,
+		RateLimited:       rateLimited,
+		BusyReceived:      m.BusyReceived.Value(),
 	}
 }
 
@@ -368,6 +389,7 @@ func (n *Node) acceptLoop() {
 // connection's read loop.
 func (n *Node) serve(c net.Conn) {
 	c = n.opts.Wrap(c)
+	c = metrics.NewMeteredConn(c, n.metrics.ConnBytes[metrics.DirIn], n.metrics.ConnBytes[metrics.DirOut])
 	br := bufio.NewReader(c)
 	c.SetReadDeadline(time.Now().Add(n.opts.HandshakeTimeout))
 	line, err := br.ReadString('\n')
@@ -427,6 +449,7 @@ func (n *Node) register(c *conn, isClient bool) bool {
 		n.nPeers++
 	}
 	n.conns[c] = struct{}{}
+	n.metrics.ConnsOpen.Inc()
 	return true
 }
 
@@ -439,6 +462,7 @@ func (n *Node) unregister(c *conn) {
 		} else {
 			n.nPeers--
 		}
+		n.metrics.ConnsOpen.Dec()
 	}
 	n.mu.Unlock()
 }
@@ -449,6 +473,7 @@ func (n *Node) ConnectPeer(addr string) error {
 	if err != nil {
 		return fmt.Errorf("p2p: dialing peer %s: %w", addr, err)
 	}
+	c = metrics.NewMeteredConn(c, n.metrics.ConnBytes[metrics.DirIn], n.metrics.ConnBytes[metrics.DirOut])
 	if _, err := fmt.Fprintf(c, "%s\n", helloPeer); err != nil {
 		c.Close()
 		return err
@@ -522,14 +547,18 @@ func (n *Node) heartbeatLoop() {
 // an explicit, counted Busy response to the sender — never a silent drop —
 // and admission never blocks the connection's read loop.
 func (n *Node) enqueueQuery(c *conn, q *gnutella.Query, fromPeer bool) {
+	src := metrics.SourceClient
+	if fromPeer {
+		src = metrics.SourcePeer
+	}
 	if !fromPeer && n.opts.ClientQueryRate > 0 &&
 		!c.bucket.take(time.Now(), n.opts.ClientQueryRate, n.opts.ClientQueryBurst) {
-		n.rateLimited.Add(1)
+		n.metrics.Shed[metrics.ShedRateLimit][src].Inc()
 		n.sendBusy(c, q)
 		return
 	}
 	if int(c.inflight.Load()) >= n.opts.MaxInflight {
-		n.queriesShed.Add(1)
+		n.metrics.Shed[metrics.ShedInflight][src].Inc()
 		n.sendBusy(c, q)
 		return
 	}
@@ -540,7 +569,7 @@ func (n *Node) enqueueQuery(c *conn, q *gnutella.Query, fromPeer bool) {
 		c.inflight.Add(-1) // shutting down; the connection dies with us
 	default:
 		c.inflight.Add(-1)
-		n.queriesShed.Add(1)
+		n.metrics.Shed[metrics.ShedQueue][src].Inc()
 		n.sendBusy(c, q)
 	}
 }
@@ -578,12 +607,14 @@ func (n *Node) queryWorker() {
 // dispatch executes one admitted query.
 func (n *Node) dispatch(t queryTask) {
 	defer t.c.inflight.Add(-1)
+	start := time.Now()
 	if t.fromPeer {
 		n.handlePeerQuery(t.c, t.q)
 	} else {
 		n.handleClientQuery(t.c, t.q)
 	}
-	n.queriesHandled.Add(1)
+	n.metrics.QueryService.Observe(time.Since(start).Seconds())
+	n.metrics.QueriesHandled.Inc()
 }
 
 // pruneLoop expires stale reverse-path routes.

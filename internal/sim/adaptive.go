@@ -4,6 +4,7 @@ import (
 	"spnet/internal/analysis"
 	"spnet/internal/cost"
 	"spnet/internal/design"
+	"spnet/internal/metrics"
 )
 
 // AdaptiveOptions turn on the Section 5.3 local decision rules: each
@@ -395,10 +396,10 @@ func (s *Simulator) detachLargestClient(c *clusterNode) *clientNode {
 func (s *Simulator) clientJoinOne(c *clientNode, p *partnerNode) {
 	jb, jpS := cost.SendJoin(c.files)
 	_, jpR := cost.RecvJoin(c.files)
-	c.counters.bytesOut += float64(jb)
+	c.counters.addOut(metrics.ClassJoin, float64(jb))
 	c.counters.procU += float64(jpS)
 	s.pmClient(c)
-	p.counters.bytesIn += float64(jb)
+	p.counters.addIn(metrics.ClassJoin, float64(jb))
 	p.counters.procU += float64(jpR) + float64(cost.ProcessJoin(c.files))
 	s.pmPartner(p)
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "spnet/internal/cost"
+import (
+	"spnet/internal/cost"
+	"spnet/internal/metrics"
+)
 
 // clientJoin charges the join interaction: the client sends its metadata to
 // each partner; each partner receives it and adds it to its index.
@@ -15,10 +18,10 @@ func (s *Simulator) clientJoin(c *clientNode) {
 	_, jpR := cost.RecvJoin(c.files)
 	jpP := cost.ProcessJoin(c.files)
 	for _, p := range c.cluster.partners {
-		c.counters.bytesOut += float64(jb)
+		c.counters.addOut(metrics.ClassJoin, float64(jb))
 		c.counters.procU += float64(jpS)
 		s.pmClient(c)
-		p.counters.bytesIn += float64(jb)
+		p.counters.addIn(metrics.ClassJoin, float64(jb))
 		p.counters.procU += float64(jpR) + float64(jpP)
 		s.pmPartner(p)
 	}
@@ -38,10 +41,10 @@ func (s *Simulator) partnerRejoin(p *partnerNode) {
 		}
 		jb, jpS := cost.SendJoin(p.files)
 		_, jpR := cost.RecvJoin(p.files)
-		p.counters.bytesOut += float64(jb)
+		p.counters.addOut(metrics.ClassJoin, float64(jb))
 		p.counters.procU += float64(jpS)
 		s.pmPartner(p)
-		co.counters.bytesIn += float64(jb)
+		co.counters.addIn(metrics.ClassJoin, float64(jb))
 		co.counters.procU += float64(jpR) + float64(cost.ProcessJoin(p.files))
 		s.pmPartner(co)
 	}
@@ -57,10 +60,10 @@ func (s *Simulator) clientUpdate(c *clientNode) {
 	_, upR := cost.RecvUpdateCost()
 	upP := cost.ProcessUpdateCost()
 	for _, p := range c.cluster.partners {
-		c.counters.bytesOut += float64(ub)
+		c.counters.addOut(metrics.ClassUpdate, float64(ub))
 		c.counters.procU += float64(upS)
 		s.pmClient(c)
-		p.counters.bytesIn += float64(ub)
+		p.counters.addIn(metrics.ClassUpdate, float64(ub))
 		p.counters.procU += float64(upR) + float64(upP)
 		s.pmPartner(p)
 	}
@@ -79,10 +82,10 @@ func (s *Simulator) partnerUpdate(p *partnerNode) {
 		if co == p {
 			continue
 		}
-		p.counters.bytesOut += float64(ub)
+		p.counters.addOut(metrics.ClassUpdate, float64(ub))
 		p.counters.procU += float64(upS)
 		s.pmPartner(p)
-		co.counters.bytesIn += float64(ub)
+		co.counters.addIn(metrics.ClassUpdate, float64(ub))
 		co.counters.procU += float64(upR) + float64(cost.ProcessUpdateCost())
 		s.pmPartner(co)
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"spnet/internal/cost"
 	"spnet/internal/gnutella"
+	"spnet/internal/metrics"
 )
 
 // queryMsg is a query in flight between two super-peer partners.
@@ -48,10 +49,10 @@ func (s *Simulator) userQueryFromClient(c *clientNode) {
 	p := c.cluster.partners[c.rr%len(c.cluster.partners)]
 	c.rr++
 	// Client -> super-peer hop.
-	c.counters.bytesOut += s.qBytes
+	c.counters.addOut(metrics.ClassQuery, s.qBytes)
 	c.counters.procU += s.sendQProc
 	s.pmClient(c)
-	p.counters.bytesIn += s.qBytes
+	p.counters.addIn(metrics.ClassQuery, s.qBytes)
 	p.counters.procU += s.recvQProc
 	s.pmPartner(p)
 	s.sourceQuery(p, c)
@@ -109,7 +110,7 @@ func (s *Simulator) sendQueryTo(p *partnerNode, nb *clusterNode, msg queryMsg) {
 	}
 	target := nb.partners[nb.rrOut%len(nb.partners)]
 	nb.rrOut++
-	p.counters.bytesOut += s.qBytes
+	p.counters.addOut(metrics.ClassQuery, s.qBytes)
 	p.counters.procU += s.sendQProc
 	s.pmPartner(p)
 	m := msg
@@ -123,7 +124,7 @@ func (s *Simulator) handleQuery(p *partnerNode, msg queryMsg) {
 	if p.cluster.isDown() {
 		return // failed while the message was in flight
 	}
-	p.counters.bytesIn += s.qBytes
+	p.counters.addIn(metrics.ClassQuery, s.qBytes)
 	p.counters.procU += s.recvQProc
 	s.pmPartner(p)
 
@@ -183,7 +184,7 @@ func respCost(addrs, results int) float64 {
 // sendResponse transmits one Response hop from p toward `to`.
 func (s *Simulator) sendResponse(p *partnerNode, to *partnerNode, msg respMsg) {
 	b := respCost(msg.addrs, msg.results)
-	p.counters.bytesOut += b
+	p.counters.addOut(metrics.ClassResponse, b)
 	p.counters.procU += float64(cost.SendRespBase) +
 		cost.SendRespPerAddr*float64(msg.addrs) + cost.SendRespPerResult*float64(msg.results)
 	s.pmPartner(p)
@@ -201,7 +202,7 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 		return // failed while the message was in flight
 	}
 	b := respCost(msg.addrs, msg.results)
-	p.counters.bytesIn += b
+	p.counters.addIn(metrics.ClassResponse, b)
 	p.counters.procU += float64(cost.RecvRespBase) +
 		cost.RecvRespPerAddr*float64(msg.addrs) + cost.RecvRespPerResult*float64(msg.results)
 	s.pmPartner(p)
@@ -230,11 +231,11 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 // to the client that submitted the query.
 func (s *Simulator) deliverResponseToClient(p *partnerNode, c *clientNode, addrs, results int) {
 	b := respCost(addrs, results)
-	p.counters.bytesOut += b
+	p.counters.addOut(metrics.ClassResponse, b)
 	p.counters.procU += float64(cost.SendRespBase) +
 		cost.SendRespPerAddr*float64(addrs) + cost.SendRespPerResult*float64(results)
 	s.pmPartner(p)
-	c.counters.bytesIn += b
+	c.counters.addIn(metrics.ClassResponse, b)
 	c.counters.procU += float64(cost.RecvRespBase) +
 		cost.RecvRespPerAddr*float64(addrs) + cost.RecvRespPerResult*float64(results)
 	s.pmClient(c)

@@ -3,10 +3,12 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"spnet/internal/analysis"
 	"spnet/internal/cost"
 	"spnet/internal/index"
+	"spnet/internal/metrics"
 	"spnet/internal/network"
 	"spnet/internal/stats"
 	"spnet/internal/workload"
@@ -45,6 +47,10 @@ type Measured struct {
 	Duration float64
 	// SuperPeer is the mean measured load of each live cluster's partner(s).
 	SuperPeer []analysis.Load
+	// SuperPeerClassBps breaks each live cluster's per-partner bandwidth
+	// (bits/s) down by Table 2 taxonomy class and direction, under the same
+	// classes live nodes meter.
+	SuperPeerClassBps []metrics.ByClass
 	// MeanSuperPeer averages SuperPeer.
 	MeanSuperPeer analysis.Load
 	// MeanClient is the mean measured client load.
@@ -79,11 +85,23 @@ type Measured struct {
 
 // counters accumulate one node's observed work. Packet-multiplex overhead is
 // charged inline at each message with the node's connection count at that
-// moment.
+// moment. Byte charges go through addIn/addOut so every byte is also
+// attributed to its Table 2 taxonomy class, mirroring the live LoadMeter.
 type counters struct {
 	bytesIn  float64
 	bytesOut float64
 	procU    float64
+	cls      metrics.ByClass
+}
+
+func (c *counters) addIn(class metrics.Class, b float64) {
+	c.bytesIn += b
+	c.cls.Add(class, metrics.DirIn, b)
+}
+
+func (c *counters) addOut(class metrics.Class, b float64) {
+	c.bytesOut += b
+	c.cls.Add(class, metrics.DirOut, b)
 }
 
 func (c *counters) load(duration float64) analysis.Load {
@@ -429,11 +447,15 @@ func (s *Simulator) measure() *Measured {
 		}
 		m.FinalClusters++
 		var sp analysis.Load
+		var spCls metrics.ByClass
 		for _, p := range c.partners {
 			sp = sp.Add(p.counters.load(s.opts.Duration))
+			spCls.Merge(p.counters.cls)
 		}
 		perPartner := sp.Scale(1 / float64(len(c.partners)))
 		m.SuperPeer = append(m.SuperPeer, perPartner)
+		m.SuperPeerClassBps = append(m.SuperPeerClassBps,
+			spCls.Scale(8/(s.opts.Duration*float64(len(c.partners)))))
 		m.MeanSuperPeer = m.MeanSuperPeer.Add(perPartner)
 		m.Aggregate = m.Aggregate.Add(sp)
 		m.FinalPeers += len(c.partners)
@@ -463,4 +485,28 @@ func (s *Simulator) measure() *Measured {
 		m.EPL = s.respHops / s.respMsgs
 	}
 	return m
+}
+
+// RegisterMetrics exposes the run's measured per-cluster byte totals on a
+// registry under the same series name live super-peers emit
+// (spnet_message_bytes_total{type,dir}), with an extra cluster label, so one
+// scrape pipeline consumes live and simulated runs alike. Values are
+// per-partner mean totals reconstructed from the class bandwidth breakdown.
+func (m *Measured) RegisterMetrics(r *metrics.Registry) {
+	for v, cls := range m.SuperPeerClassBps {
+		bytes := cls.Scale(m.Duration / 8)
+		clusterLbl := metrics.Label{Name: "cluster", Value: strconv.Itoa(v)}
+		for c := 0; c < metrics.NumClasses; c++ {
+			for d := 0; d < metrics.NumDirs; d++ {
+				cc, dd := metrics.Class(c), metrics.Dir(d)
+				val := bytes.Get(cc, dd)
+				r.CounterFunc(metrics.MetricMessageBytes,
+					"Model wire bytes (incl. frame overhead) by class and direction.",
+					func() float64 { return val },
+					metrics.Label{Name: "type", Value: cc.String()},
+					metrics.Label{Name: "dir", Value: dd.String()},
+					clusterLbl)
+			}
+		}
+	}
 }

@@ -39,11 +39,14 @@
 package spnet
 
 import (
+	"net/http"
+
 	"spnet/internal/analysis"
 	"spnet/internal/content"
 	"spnet/internal/design"
 	"spnet/internal/experiments"
 	"spnet/internal/faults"
+	"spnet/internal/metrics"
 	"spnet/internal/network"
 	"spnet/internal/p2p"
 	"spnet/internal/sim"
@@ -356,3 +359,36 @@ type (
 // NewLiveNetwork builds the live churn harness; call its Launch method to
 // boot the network.
 func NewLiveNetwork(cfg LiveConfig) *LiveNetwork { return network.NewLive(cfg) }
+
+// Metrics types: every live node carries a dependency-free metrics registry
+// whose counters attribute each byte and message to the paper's Table 2 load
+// taxonomy — {query, response, join, update, busy, ping} × {in, out} — with
+// hot-path updates that are atomic and allocation-free. The simulator and
+// the analytical model emit the same series names, so the three layers'
+// measurements are directly comparable.
+type (
+	MetricsRegistry = metrics.Registry
+	NodeMetrics     = metrics.NodeMetrics
+	LoadByClass     = metrics.ByClass
+	MessageClass    = metrics.Class
+	MessageDir      = metrics.Dir
+	SuperPeerInfo   = network.SuperPeerInfo
+)
+
+// TelemetryHandler serves a registry over HTTP: Prometheus text format on
+// /metrics, expvar JSON on /debug/vars, and the net/http/pprof profiles on
+// /debug/pprof/. spnet-node's -telemetry flag and LiveConfig.Telemetry use
+// this same handler.
+func TelemetryHandler(reg *MetricsRegistry) http.Handler { return metrics.Handler(reg) }
+
+// LoadValidationParams shape RunLoadValidation, the model-vs-measured
+// validation experiment.
+type LoadValidationParams = experiments.LoadValidationParams
+
+// RunLoadValidation evaluates, simulates and actually runs the same small
+// super-peer network, scrapes each live super-peer's telemetry endpoint, and
+// reports per-super-peer bandwidth three ways — analytical prediction,
+// simulator measurement, live measurement — with relative errors.
+func RunLoadValidation(p LoadValidationParams) (*ExperimentReport, error) {
+	return experiments.RunLoadValidation(p)
+}
