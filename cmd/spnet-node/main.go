@@ -43,6 +43,8 @@ func main() {
 		telem   = flag.String("telemetry", "", "serve load telemetry on this address: /metrics (Prometheus), /debug/vars (expvar), /debug/pprof/")
 		query   = flag.String("query", "", "run this keyword query from the node itself, print results, and exit")
 		wait    = flag.Duration("wait", 2*time.Second, "how long to collect results for -query")
+		routing = flag.String("routing", "flood", `query-routing strategy: "flood", "randomwalk[:k]", "routingindex" or "learned"`)
+		rseed   = flag.Uint64("routing-seed", 1, "seed for randomized routing strategies")
 		verbose = flag.Bool("v", false, "log protocol diagnostics")
 
 		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "TCP dial timeout for peer connections")
@@ -61,6 +63,12 @@ func main() {
 	if *hbEvery == 0 {
 		opts.HeartbeatInterval = -1 // flag 0 means off; Options treats 0 as "default"
 	}
+	strat, err := spnet.ParseRouting(*routing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Routing = strat
+	opts.RoutingSeed = *rseed
 	if *verbose {
 		opts.Logf = log.Printf
 	}
@@ -69,8 +77,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer node.Close()
-	fmt.Printf("super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers)\n",
-		node.Addr(), *ttl, *maxCl, *maxPeer)
+	fmt.Printf("super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers, routing %s)\n",
+		node.Addr(), *ttl, *maxCl, *maxPeer, strat.Name())
 
 	if *telem != "" {
 		lis, err := net.Listen("tcp", *telem)

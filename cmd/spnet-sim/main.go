@@ -34,6 +34,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		noChurn    = flag.Bool("no-churn", false, "disable session churn (join traffic)")
 		contentOn  = flag.Bool("content", false, "answer queries from real inverted indexes over synthetic titles")
+		routing    = flag.String("routing", "flood", `query-routing strategy: "flood", "randomwalk[:k]", "routingindex" or "learned"`)
 		compare    = flag.Bool("compare", true, "also print the analysis engine's expectations")
 
 		mtbf     = flag.Float64("mtbf", 0, "inject super-peer failures with this mean time between failures (s); 0 = off")
@@ -74,6 +75,14 @@ func main() {
 		Seed:     *seed + 1,
 		Churn:    !*noChurn,
 	}
+	if *routing != "flood" {
+		strat, err := spnet.ParseRouting(*routing)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		opts.Routing = strat
+	}
 	if *mtbf > 0 {
 		opts.Failures = &spnet.FailureOptions{MTBF: *mtbf, RecoveryDelay: *recovery}
 	}
@@ -103,6 +112,10 @@ func main() {
 	fmt.Printf("  mean client:     %v\n", m.MeanClient)
 	fmt.Printf("  results/query:   %.1f\n", m.ResultsPerQuery)
 	fmt.Printf("  EPL:             %.2f\n", m.EPL)
+	if m.QueriesIssued > 0 {
+		fmt.Printf("  routing:         %s, %.2f forwards/query\n",
+			m.Strategy, float64(m.QueriesForwarded)/float64(m.QueriesIssued))
+	}
 	fmt.Printf("topology at end of run: %d clusters, %d peers, mean outdegree %.1f, mean TTL %.1f\n",
 		m.FinalClusters, m.FinalPeers, m.FinalMeanOutdegree, m.FinalMeanTTL)
 	if m.FailuresInjected > 0 {

@@ -7,6 +7,7 @@ import (
 	"spnet/internal/gnutella"
 	"spnet/internal/metrics"
 	"spnet/internal/network"
+	"spnet/internal/routing"
 )
 
 // Result holds the evaluation of one network instance: per-node expected
@@ -28,6 +29,11 @@ type Result struct {
 	// MeanReachPeers is the average number of peers covered by a query's
 	// reach — the unit Section 5.2 specifies desired reach in.
 	MeanReachPeers float64
+	// QueryForwardsPerQuery is the expected number of query copies sent
+	// over overlay edges per query (redundant copies included) — the
+	// bandwidth knob routing strategies turn. For flood it equals the
+	// Section 4.1 copy count; strategy evaluations scale it down.
+	QueryForwardsPerQuery float64
 
 	spShared     []rawLoad   // per cluster: query-path load of the virtual super-peer (split across partners)
 	spPerPartner []rawLoad   // per cluster: join/update load each partner bears in full
@@ -49,6 +55,11 @@ type evaluator struct {
 	inst *network.Instance
 	res  *Result
 
+	// fw is the routing strategy's mean-value forwarding model; nil means
+	// flood, which takes the exact pre-strategy code paths (bit-identical
+	// float sequences), including the clique closed form.
+	fw *routing.Forwards
+
 	// Precomputed per-cluster quantities.
 	users      []float64 // query-submitting users per cluster
 	qWeight    []float64 // queries per second originated by the cluster
@@ -65,6 +76,7 @@ type evaluator struct {
 	eplNum, eplDen         float64
 	reachClustersNum       float64
 	reachPeersNum          float64
+	fwdNum                 float64
 
 	// Reusable BFS buffers (generic-graph path), leased from scratchPool so
 	// concurrent evaluations on the worker pool never share state and
@@ -81,6 +93,11 @@ type bfsScratch struct {
 	parent  []int32
 	order   []int32
 	flowBuf []flow
+	// prob[v] is the probability a strategy-routed query reaches v; frac[v]
+	// is the per-eligible-edge forwarding fraction at v. Pool invariant:
+	// zero. Only touched when the evaluator carries a Forwards model.
+	prob []float64
+	frac []float64
 }
 
 var scratchPool = sync.Pool{New: func() any { return &bfsScratch{} }}
@@ -93,6 +110,8 @@ func getScratch(n int) *bfsScratch {
 		s.depth = make([]int32, n)
 		s.parent = make([]int32, n)
 		s.flowBuf = make([]flow, n)
+		s.prob = make([]float64, n)
+		s.frac = make([]float64, n)
 		s.order = make([]int32, 0, n)
 		for i := range s.depth {
 			s.depth[i] = -1
@@ -103,6 +122,8 @@ func getScratch(n int) *bfsScratch {
 	s.depth = s.depth[:n]
 	s.parent = s.parent[:n]
 	s.flowBuf = s.flowBuf[:n]
+	s.prob = s.prob[:n]
+	s.frac = s.frac[:n]
 	s.order = s.order[:0]
 	return s
 }
@@ -110,10 +131,25 @@ func getScratch(n int) *bfsScratch {
 // Evaluate runs Steps 2–3 of the paper's evaluation model over one instance,
 // producing expected loads for every node and the expected quality of
 // results. The instance is treated as read-only.
-func Evaluate(inst *network.Instance) *Result {
+func Evaluate(inst *network.Instance) *Result { return evaluate(inst, nil) }
+
+// EvaluateStrategy evaluates the instance under a routing strategy's
+// mean-value forwarding model (routing.Forwards gives the expected number of
+// query copies a source or relay emits at each eligible degree). A nil model
+// is the flood strategy and makes EvaluateStrategy identical to Evaluate.
+// With a model, reach becomes probabilistic: each BFS-tree node is reached
+// with the product of the forwarding fractions along its path, and every
+// query-path charge, response flow and traversal metric is weighted by that
+// probability.
+func EvaluateStrategy(inst *network.Instance, fw *routing.Forwards) *Result {
+	return evaluate(inst, fw)
+}
+
+func evaluate(inst *network.Instance, fw *routing.Forwards) *Result {
 	n := len(inst.Clusters)
 	e := &evaluator{
 		inst: inst,
+		fw:   fw,
 		res: &Result{
 			Inst:            inst,
 			spShared:        make([]rawLoad, n),
@@ -143,7 +179,9 @@ func Evaluate(inst *network.Instance) *Result {
 	_, rp := cost.RecvQuery(inst.Profile.QueryLen)
 	e.qBytes, e.sendQProc, e.recvQProc = float64(qb), float64(sp), float64(rp)
 
-	if inst.Graph.IsClique() {
+	// The clique closed form hard-codes flood propagation; strategy models
+	// route through the generic BFS path (Clique implements VisitNeighbors).
+	if inst.Graph.IsClique() && e.fw == nil {
 		e.evalCliqueQueries()
 	} else {
 		e.evalGraphQueries()
@@ -189,41 +227,68 @@ func (e *evaluator) evalGraphQueries() {
 			continue
 		}
 		e.bfs(s, ttl)
+		useFw := e.fw != nil
+		if useFw {
+			e.computeReachProbs(s, ttl)
+		}
 
 		// Query forwarding: every reached node u with depth < TTL forwards
 		// to all neighbors except the edge the query arrived on. Copies
 		// arriving at already-visited nodes are redundant: received, then
-		// dropped (Section 5.1, rule #4).
+		// dropped (Section 5.1, rule #4). Under a strategy model each edge
+		// carries the expected copy count prob[u]·frac[u] instead of a full
+		// copy; the flood path performs no extra multiplications so its
+		// float sequence is unchanged.
 		for _, u32 := range e.scratch.order {
 			u := int(u32)
 			if int(e.scratch.depth[u]) >= ttl {
 				continue // nodes at the TTL horizon do not forward
+			}
+			wf := w
+			if useFw {
+				wf = w * e.scratch.prob[u] * e.scratch.frac[u]
+				if wf == 0 {
+					continue
+				}
 			}
 			par := e.scratch.parent[u]
 			g.VisitNeighbors(u, func(nb int) bool {
 				if int32(nb) == par && u != s {
 					return true
 				}
-				sp[u].outBytes += w * e.qBytes
-				sp[u].procU += w * e.sendQProc
-				sp[u].msgs += w
-				cls[u].Add(metrics.ClassQuery, metrics.DirOut, w*e.qBytes)
-				sp[nb].inBytes += w * e.qBytes
-				sp[nb].procU += w * e.recvQProc
-				sp[nb].msgs += w
-				cls[nb].Add(metrics.ClassQuery, metrics.DirIn, w*e.qBytes)
-				e.res.bd.queryTransfer(w, e.qBytes, e.sendQProc, e.recvQProc)
+				sp[u].outBytes += wf * e.qBytes
+				sp[u].procU += wf * e.sendQProc
+				sp[u].msgs += wf
+				cls[u].Add(metrics.ClassQuery, metrics.DirOut, wf*e.qBytes)
+				sp[nb].inBytes += wf * e.qBytes
+				sp[nb].procU += wf * e.recvQProc
+				sp[nb].msgs += wf
+				cls[nb].Add(metrics.ClassQuery, metrics.DirIn, wf*e.qBytes)
+				e.res.bd.queryTransfer(wf, e.qBytes, e.sendQProc, e.recvQProc)
+				e.fwdNum += wf
 				return true
 			})
 		}
 
-		// Every reached cluster processes the query over its index once.
+		// Every reached cluster processes the query over its index once
+		// (under a strategy model: with the probability it is reached).
 		for _, v32 := range e.scratch.order {
 			v := int(v32)
+			wp := w
+			if useFw {
+				wp = w * e.scratch.prob[v]
+			}
 			pu := float64(cost.ProcessQuery(e.own[v].results))
-			sp[v].procU += w * pu
-			e.res.bd.process(w, pu)
-			e.scratch.flowBuf[v] = e.own[v]
+			sp[v].procU += wp * pu
+			e.res.bd.process(wp, pu)
+			f := e.own[v]
+			if useFw {
+				p := e.scratch.prob[v]
+				f.msgs *= p
+				f.addrs *= p
+				f.results *= p
+			}
+			e.scratch.flowBuf[v] = f
 		}
 
 		// Responses travel up the BFS predecessor tree; iterating the BFS
@@ -254,16 +319,33 @@ func (e *evaluator) evalGraphQueries() {
 		// Traversal metrics.
 		e.resultsNum += w * total.results
 		e.resultsDen += w
-		e.reachClustersNum += w * float64(len(e.scratch.order))
-		var peers float64
-		for _, v32 := range e.scratch.order {
-			peers += e.users[v32]
-		}
-		e.reachPeersNum += w * peers
-		for _, v32 := range e.scratch.order[1:] {
-			v := int(v32)
-			e.eplNum += w * float64(e.scratch.depth[v]) * e.own[v].msgs
-			e.eplDen += w * e.own[v].msgs
+		if useFw {
+			var clustersReached, peers float64
+			for _, v32 := range e.scratch.order {
+				p := e.scratch.prob[v32]
+				clustersReached += p
+				peers += p * e.users[v32]
+			}
+			e.reachClustersNum += w * clustersReached
+			e.reachPeersNum += w * peers
+			for _, v32 := range e.scratch.order[1:] {
+				v := int(v32)
+				m := e.scratch.prob[v] * e.own[v].msgs
+				e.eplNum += w * float64(e.scratch.depth[v]) * m
+				e.eplDen += w * m
+			}
+		} else {
+			e.reachClustersNum += w * float64(len(e.scratch.order))
+			var peers float64
+			for _, v32 := range e.scratch.order {
+				peers += e.users[v32]
+			}
+			e.reachPeersNum += w * peers
+			for _, v32 := range e.scratch.order[1:] {
+				v := int(v32)
+				e.eplNum += w * float64(e.scratch.depth[v]) * e.own[v].msgs
+				e.eplDen += w * e.own[v].msgs
+			}
 		}
 
 		// Reset the touched buffers for the next source.
@@ -271,12 +353,58 @@ func (e *evaluator) evalGraphQueries() {
 			e.scratch.depth[v32] = -1
 			e.scratch.parent[v32] = -1
 			e.scratch.flowBuf[v32] = flow{}
+			e.scratch.prob[v32] = 0
+			e.scratch.frac[v32] = 0
 		}
 	}
 	// The per-source resets restored the pool invariant; return the lease.
 	e.scratch.order = e.scratch.order[:0]
 	scratchPool.Put(e.scratch)
 	e.scratch = nil
+}
+
+// computeReachProbs fills the scratch prob/frac buffers for one source under
+// the strategy forwarding model. frac[u] is the expected fraction of u's
+// eligible edges (all neighbors minus the arrival edge) that carry a copy:
+// Forwards(eligible)/eligible, clamped to [0,1] — the strategy is assumed to
+// pick eligible edges uniformly, so each BFS-tree child is reached from its
+// parent with probability frac[parent]. prob multiplies down the tree; BFS
+// order visits parents first, so one pass suffices.
+func (e *evaluator) computeReachProbs(s, ttl int) {
+	g := e.inst.Graph
+	pr, fr := e.scratch.prob, e.scratch.frac
+	for _, u32 := range e.scratch.order {
+		u := int(u32)
+		if u == s {
+			pr[u] = 1
+		} else {
+			p := int(e.scratch.parent[u])
+			pr[u] = pr[p] * fr[p]
+		}
+		if int(e.scratch.depth[u]) >= ttl {
+			continue // horizon nodes forward nothing: frac stays 0
+		}
+		eligible := g.Degree(u)
+		if u != s {
+			eligible--
+		}
+		if eligible <= 0 {
+			continue
+		}
+		var exp float64
+		if u == s {
+			exp = e.fw.Source(eligible)
+		} else {
+			exp = e.fw.Relay(eligible)
+		}
+		f := exp / float64(eligible)
+		if f < 0 {
+			f = 0
+		} else if f > 1 {
+			f = 1
+		}
+		fr[u] = f
+	}
 }
 
 // bfs fills the evaluator's reusable depth/parent/order buffers.
@@ -359,6 +487,7 @@ func (e *evaluator) evalCliqueQueries() {
 		sp[v].procU += w * float64(n-1) * e.sendQProc
 		sp[v].msgs += w * float64(n-1)
 		cls[v].Add(metrics.ClassQuery, metrics.DirOut, w*float64(n-1)*e.qBytes)
+		e.fwdNum += w * float64(n-1)
 		sp[v].inBytes += w * respBytes(rem)
 		sp[v].procU += w * recvRespProc(rem)
 		sp[v].msgs += w * rem.msgs
@@ -389,6 +518,7 @@ func (e *evaluator) evalCliqueQueries() {
 			sp[v].msgs += wr * dupCopies
 			cls[v].Add(metrics.ClassQuery, metrics.DirOut, wr*dupCopies*e.qBytes)
 			e.res.bd.queryTransfer(wr*dupCopies, e.qBytes, e.sendQProc, e.recvQProc)
+			e.fwdNum += wr * dupCopies
 		}
 
 		// Traversal metrics: full reach, all responses one hop out.
@@ -560,6 +690,7 @@ func (e *evaluator) finalizeMetrics() {
 		e.res.ResultsPerQuery = e.resultsNum / e.resultsDen
 		e.res.MeanReachClusters = e.reachClustersNum / e.resultsDen
 		e.res.MeanReachPeers = e.reachPeersNum / e.resultsDen
+		e.res.QueryForwardsPerQuery = e.fwdNum / e.resultsDen
 	}
 	if e.eplDen > 0 {
 		e.res.EPL = e.eplNum / e.eplDen

@@ -159,6 +159,7 @@ var registry = []definition{
 	{"reliability", "Extension: failure injection — measuring the Section 3.2 reliability claim", runReliability},
 	{"breakdown", "Ablation: aggregate load attributed to protocol components", runBreakdown},
 	{"loadvalidation", "Validation: analytical vs simulated vs live-measured super-peer load", runLoadValidationDefault},
+	{"routingcompare", "Extension: query-routing strategies — bandwidth saved vs recall lost, three ways", runRoutingCompareDefault},
 }
 
 // IDs lists the registered experiment ids in order.

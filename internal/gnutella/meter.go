@@ -18,6 +18,8 @@ func LoadClass(t MsgType) metrics.Class {
 		return metrics.ClassBusy
 	case TypePing, TypePong:
 		return metrics.ClassPing
+	case TypeSummary:
+		return metrics.ClassOther
 	}
 	return metrics.ClassOther
 }
@@ -37,6 +39,8 @@ func MessageClass(m Message) metrics.Class {
 		return metrics.ClassBusy
 	case *Ping, *Pong:
 		return metrics.ClassPing
+	case *Summary:
+		return metrics.ClassOther
 	}
 	return metrics.ClassOther
 }

@@ -66,6 +66,15 @@ const (
 	PingLen = FrameOverhead + DescriptorHeaderLen
 )
 
+// SummarySize returns the on-the-wire size of a Summary message advertising
+// numTerms terms whose UTF-8 lengths total termBytes: framing + descriptor
+// header + 2-byte term count + a 1-byte length prefix per term. Summaries
+// propagate routing-index digests between super-peers; like heartbeats they
+// are outside the paper's Table 2 cost model.
+func SummarySize(numTerms, termBytes int) int {
+	return FrameOverhead + DescriptorHeaderLen + 2 + numTerms + termBytes
+}
+
 // QuerySize returns the on-the-wire size of a query whose string has the
 // given length: 82 + query length.
 func QuerySize(queryLen int) int { return QueryFixedLen + queryLen }

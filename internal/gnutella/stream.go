@@ -21,6 +21,7 @@ var (
 	_ Message = (*QueryHit)(nil)
 	_ Message = (*Join)(nil)
 	_ Message = (*Update)(nil)
+	_ Message = (*Summary)(nil)
 )
 
 // MaxPayloadLen is the hard upper bound on accepted payloads, protecting
@@ -57,6 +58,11 @@ func WriteMessage(w io.Writer, m Message) error {
 	case *Query:
 		buf = msg.Encode()
 	case *QueryHit:
+		buf, err = msg.Encode()
+		if err != nil {
+			return err
+		}
+	case *Summary:
 		buf, err = msg.Encode()
 		if err != nil {
 			return err
@@ -121,6 +127,8 @@ func ReadMessageLimit(r io.Reader, maxPayload uint32) (Message, error) {
 		return DecodeJoin(buf)
 	case TypeUpdate:
 		return DecodeUpdate(buf)
+	case TypeSummary:
+		return DecodeSummary(buf)
 	}
 	return nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrBadMessage, byte(h.Type))
 }

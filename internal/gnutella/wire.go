@@ -20,6 +20,7 @@ const (
 	TypeJoin     MsgType = 0x10
 	TypeUpdate   MsgType = 0x11
 	TypeBusy     MsgType = 0x12
+	TypeSummary  MsgType = 0x13
 )
 
 func (t MsgType) String() string {
@@ -38,6 +39,8 @@ func (t MsgType) String() string {
 		return "Update"
 	case TypeBusy:
 		return "Busy"
+	case TypeSummary:
+		return "Summary"
 	}
 	return fmt.Sprintf("MsgType(0x%02x)", byte(t))
 }
@@ -471,6 +474,91 @@ func DecodeUpdate(buf []byte) (*Update, error) {
 	u.File.FileSize = binary.LittleEndian.Uint32(buf[28:32])
 	u.File.Title = trimNUL(buf[32 : 32+metadataTitleLen])
 	return u, nil
+}
+
+// Summary advertises a super-peer's routing-index digest for one overlay
+// edge: the set of terms reachable through the sender (its own index merged
+// with its other neighbors' summaries, split-horizon). Receivers feed it to
+// the routingindex strategy, which forwards a query over an edge only if the
+// edge's summary covers every query term. Payload: 2-byte term count, then
+// each term as a 1-byte length prefix followed by its bytes.
+type Summary struct {
+	ID    GUID
+	TTL   uint8
+	Hops  uint8
+	Terms []string
+}
+
+// Encode serializes the summary (descriptor header + payload, no framing).
+// Terms longer than 255 bytes or counts above 65535 are rejected.
+func (s *Summary) Encode() ([]byte, error) {
+	if len(s.Terms) > 65535 {
+		return nil, fmt.Errorf("%w: %d summary terms, max 65535", ErrBadMessage, len(s.Terms))
+	}
+	payload := 2
+	for _, t := range s.Terms {
+		if len(t) > 255 {
+			return nil, fmt.Errorf("%w: summary term %d bytes, max 255", ErrBadMessage, len(t))
+		}
+		payload += 1 + len(t)
+	}
+	buf := make([]byte, DescriptorHeaderLen+payload)
+	h := Header{ID: s.ID, Type: TypeSummary, TTL: s.TTL, Hops: s.Hops, PayloadLen: uint32(payload)}
+	h.encode(buf)
+	binary.LittleEndian.PutUint16(buf[23:25], uint16(len(s.Terms)))
+	off := 25
+	for _, t := range s.Terms {
+		buf[off] = byte(len(t))
+		copy(buf[off+1:], t)
+		off += 1 + len(t)
+	}
+	return buf, nil
+}
+
+// WireSize returns the on-the-wire size including framing; it equals
+// SummarySize(#terms, total term bytes).
+func (s *Summary) WireSize() int {
+	bytes := 0
+	for _, t := range s.Terms {
+		bytes += len(t)
+	}
+	return SummarySize(len(s.Terms), bytes)
+}
+
+// DecodeSummary parses an encoded summary.
+func DecodeSummary(buf []byte) (*Summary, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != TypeSummary {
+		return nil, fmt.Errorf("%w: type %v, want Summary", ErrBadMessage, h.Type)
+	}
+	if int(h.PayloadLen) != len(buf)-DescriptorHeaderLen || h.PayloadLen < 2 {
+		return nil, fmt.Errorf("%w: summary payload %d", ErrBadMessage, h.PayloadLen)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[23:25]))
+	s := &Summary{ID: h.ID, TTL: h.TTL, Hops: h.Hops}
+	if n > 0 {
+		s.Terms = make([]string, 0, n)
+	}
+	off := 25
+	for i := 0; i < n; i++ {
+		if off >= len(buf) {
+			return nil, fmt.Errorf("%w: summary truncated at term %d/%d", ErrBadMessage, i, n)
+		}
+		l := int(buf[off])
+		off++
+		if off+l > len(buf) {
+			return nil, fmt.Errorf("%w: summary term %d overruns payload", ErrBadMessage, i)
+		}
+		s.Terms = append(s.Terms, string(buf[off:off+l]))
+		off += l
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing summary bytes", ErrBadMessage, len(buf)-off)
+	}
+	return s, nil
 }
 
 // trimNUL interprets a fixed-width field as a NUL-padded string.

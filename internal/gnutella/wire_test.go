@@ -334,3 +334,77 @@ func TestMsgTypeString(t *testing.T) {
 		}
 	}
 }
+
+func TestSummaryRoundTrip(t *testing.T) {
+	s := &Summary{TTL: 1, Hops: 2, Terms: []string{"free", "jazz", "miles"}}
+	s.ID[5] = 0xab
+	buf, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeSummary(buf)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	if got.ID != s.ID || got.TTL != s.TTL || got.Hops != s.Hops {
+		t.Errorf("header round trip: got %+v, want %+v", got, s)
+	}
+	if len(got.Terms) != len(s.Terms) {
+		t.Fatalf("terms: got %v, want %v", got.Terms, s.Terms)
+	}
+	for i := range s.Terms {
+		if got.Terms[i] != s.Terms[i] {
+			t.Errorf("term %d: got %q, want %q", i, got.Terms[i], s.Terms[i])
+		}
+	}
+	wantSize := SummarySize(3, len("free")+len("jazz")+len("miles"))
+	if s.WireSize() != wantSize || len(buf)+FrameOverhead != wantSize {
+		t.Errorf("WireSize %d (encoded %d+%d), want %d", s.WireSize(), len(buf), FrameOverhead, wantSize)
+	}
+
+	// Empty summaries (a neighbor with nothing reachable) are legal.
+	empty := &Summary{}
+	buf, err = empty.Encode()
+	if err != nil {
+		t.Fatalf("Encode empty: %v", err)
+	}
+	if got, err = DecodeSummary(buf); err != nil {
+		t.Fatalf("DecodeSummary empty: %v", err)
+	} else if len(got.Terms) != 0 {
+		t.Errorf("empty summary decoded %v", got.Terms)
+	}
+
+	// Stream framing.
+	var sb bytes.Buffer
+	if err := WriteMessage(&sb, s); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	if m, err := ReadMessage(&sb); err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	} else if _, ok := m.(*Summary); !ok {
+		t.Errorf("stream message %T, want *Summary", m)
+	}
+}
+
+func TestSummaryRejectsMalformed(t *testing.T) {
+	s := &Summary{Terms: []string{"abc"}}
+	buf, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim more terms than the payload holds.
+	buf[23] = 9
+	if _, err := DecodeSummary(buf); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("truncated summary: err = %v, want ErrBadMessage", err)
+	}
+	// Trailing bytes after the declared terms.
+	buf[23] = 0
+	if _, err := DecodeSummary(buf); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("trailing bytes: err = %v, want ErrBadMessage", err)
+	}
+	// Oversized term.
+	long := &Summary{Terms: []string{string(make([]byte, 256))}}
+	if _, err := long.Encode(); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("256-byte term: err = %v, want ErrBadMessage", err)
+	}
+}

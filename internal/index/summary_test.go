@@ -1,0 +1,96 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSummaryDigest(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "free", "jazz")
+	mustAdd(t, ix, 1, 2, "cool", "jazz")
+	mustAdd(t, ix, 2, 1, "blues")
+
+	s := ix.Summary()
+	if got, want := s.NumTerms(), 4; got != want {
+		t.Fatalf("NumTerms = %d, want %d", got, want)
+	}
+	if s.Docs() != 3 || s.Owners() != 2 {
+		t.Fatalf("Docs/Owners = %d/%d, want 3/2", s.Docs(), s.Owners())
+	}
+	if want := []string{"blues", "cool", "free", "jazz"}; !reflect.DeepEqual(s.Terms(), want) {
+		t.Fatalf("Terms = %v, want %v", s.Terms(), want)
+	}
+	if !s.Has("jazz") || s.Has("rock") {
+		t.Fatal("Has misreports membership")
+	}
+	if !s.Covers([]string{"cool", "jazz"}) {
+		t.Fatal("Covers should accept terms all present")
+	}
+	if s.Covers([]string{"cool", "rock"}) {
+		t.Fatal("Covers should reject a missing term")
+	}
+	if !s.Covers(nil) {
+		t.Fatal("empty query must be covered")
+	}
+}
+
+func TestSummaryTracksIndexMutation(t *testing.T) {
+	ix := New()
+	mustAdd(t, ix, 1, 1, "solo", "jazz")
+	mustAdd(t, ix, 2, 1, "jazz")
+	if s := ix.Summary(); !s.Has("solo") {
+		t.Fatal("summary missing live term")
+	}
+	ix.RemoveOwner(1)
+	s := ix.Summary()
+	if s.Has("solo") {
+		t.Fatal("summary kept term of removed owner")
+	}
+	if !s.Has("jazz") {
+		t.Fatal("summary dropped term still indexed for another owner")
+	}
+	if s.Docs() != 1 || s.Owners() != 1 {
+		t.Fatalf("Docs/Owners = %d/%d, want 1/1", s.Docs(), s.Owners())
+	}
+}
+
+func TestNewSummaryFromTerms(t *testing.T) {
+	s := NewSummary([]string{"b", "a", "b"})
+	if got, want := s.Terms(), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+	if s.Docs() != 0 || s.Owners() != 0 {
+		t.Fatalf("wire summary Docs/Owners = %d/%d, want 0/0", s.Docs(), s.Owners())
+	}
+}
+
+func TestMergeSummary(t *testing.T) {
+	a := New()
+	mustAdd(t, a, 1, 1, "free", "jazz")
+	b := New()
+	mustAdd(t, b, 2, 1, "blues", "jazz")
+
+	// Nil dst allocates; nil srcs are skipped.
+	m := MergeSummary(nil, a.Summary(), nil, b.Summary())
+	if want := []string{"blues", "free", "jazz"}; !reflect.DeepEqual(m.Terms(), want) {
+		t.Fatalf("merged Terms = %v, want %v", m.Terms(), want)
+	}
+	if m.Docs() != 2 || m.Owners() != 2 {
+		t.Fatalf("merged Docs/Owners = %d/%d, want 2/2", m.Docs(), m.Owners())
+	}
+
+	// Merging into an existing dst accumulates and returns it.
+	dst := a.Summary()
+	if got := MergeSummary(dst, b.Summary()); got != dst {
+		t.Fatal("MergeSummary should return dst")
+	}
+	if !dst.Covers([]string{"blues", "free"}) {
+		t.Fatal("dst missing merged terms")
+	}
+
+	// Sources are unchanged.
+	if bs := b.Summary(); bs.Has("free") {
+		t.Fatal("merge mutated source index digest")
+	}
+}

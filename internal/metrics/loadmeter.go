@@ -122,6 +122,9 @@ const (
 	// MetricQueriesShed counts queries dropped by the overload ladder,
 	// labeled by reason and source class.
 	MetricQueriesShed = "spnet_queries_shed_total"
+	// MetricQueriesForwarded counts query copies forwarded to neighbor
+	// super-peers, labeled by routing strategy.
+	MetricQueriesForwarded = "spnet_queries_forwarded_total"
 	// MetricBusyReceived counts Busy notices received from neighbors.
 	MetricBusyReceived = "spnet_busy_received_total"
 	// MetricQueryService is the histogram of query service times in seconds.
@@ -249,6 +252,10 @@ type NodeMetrics struct {
 	BusyReceived *Counter
 	// QueryService is the query service-time histogram (seconds).
 	QueryService *Histogram
+	// QueriesForwarded counts query copies sent on to neighbor super-peers.
+	// It carries the routing strategy as a label, so it is registered by
+	// InitForwarded once the strategy is known, and is nil until then.
+	QueriesForwarded *Counter
 }
 
 // NewNodeMetrics builds a node metric set on a fresh registry.
@@ -272,6 +279,15 @@ func NewNodeMetrics() *NodeMetrics {
 	nm.BusyReceived = r.Counter(MetricBusyReceived, "Busy notices received from neighbors.")
 	nm.QueryService = r.Histogram(MetricQueryService, "Query service time in seconds.", DefLatencyBuckets)
 	return nm
+}
+
+// InitForwarded registers the forwarded-query counter under the given
+// routing-strategy label. Call exactly once, during node setup before any
+// traffic is served; the registry rejects duplicate registration.
+func (nm *NodeMetrics) InitForwarded(strategy string) {
+	nm.QueriesForwarded = nm.reg.Counter(MetricQueriesForwarded,
+		"Query copies forwarded to neighbor super-peers, by routing strategy.",
+		Label{"strategy", strategy})
 }
 
 // Registry returns the registry backing this metric set.

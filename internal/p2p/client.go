@@ -72,7 +72,11 @@ func (n *Node) SearchDetailed(query string, window time.Duration) (*SearchOutcom
 		n.mu.Unlock()
 		return nil, errClosed
 	}
-	n.routes[id] = &routeEntry{owner: -1, local: ch, busyN: &busyN, at: time.Now()}
+	rt := &routeEntry{owner: -1, local: ch, busyN: &busyN, at: time.Now()}
+	if n.routeLearns {
+		rt.terms = titleTerms(query)
+	}
+	n.routes[id] = rt
 	localHit := n.searchLocked(id, query)
 	peers := n.peerListLocked(nil)
 	ttl := uint8(n.opts.TTL)
@@ -84,6 +88,7 @@ func (n *Node) SearchDetailed(query string, window time.Duration) (*SearchOutcom
 		n.mu.Unlock()
 	}()
 
+	peers = n.selectPeers(peers, query, id, int(ttl), 0)
 	outcome := &SearchOutcome{}
 	outcome.Neighbors = n.flood(&gnutella.Query{ID: id, TTL: ttl, Text: query}, peers)
 

@@ -23,6 +23,12 @@ type conn struct {
 	wmu      sync.Mutex
 	isClient bool
 	owner    int // client owner id; -1 for peers
+	// peerID is the link's stable id in the routing strategy's neighbor
+	// namespace; assigned under Node.mu when the peer link registers.
+	peerID int
+	// sentAdvert is the canonical key of the last routing summary sent on
+	// this link (guarded by Node.sumMu); adverts are re-sent only on change.
+	sentAdvert string
 	// lastRecv is the unix-nano timestamp of the link's last inbound
 	// message, read by the heartbeat loop for dead-peer detection.
 	lastRecv atomic.Int64
@@ -119,7 +125,10 @@ func (c *conn) read() (gnutella.Message, error) {
 // runClient serves a client connection: the first message must be a Join;
 // afterwards the client may query, update, or re-join.
 func (n *Node) runClient(c *conn) {
-	defer n.dropClient(c)
+	defer func() {
+		n.dropClient(c)
+		n.summariesChanged() // the departed client's terms left the index
+	}()
 	for {
 		msg, err := c.read()
 		if err != nil {
@@ -134,6 +143,7 @@ func (n *Node) runClient(c *conn) {
 			}
 		case *gnutella.Join:
 			n.handleClientJoin(c, m)
+			n.summariesChanged()
 		case *gnutella.Query:
 			if c.owner < 0 {
 				n.opts.Logf("p2p: query before join from %s", c.c.RemoteAddr())
@@ -146,6 +156,7 @@ func (n *Node) runClient(c *conn) {
 				return
 			}
 			n.handleClientUpdate(c, m)
+			n.summariesChanged()
 		default:
 			n.opts.Logf("p2p: unexpected %T from client %s", m, c.c.RemoteAddr())
 			return
@@ -199,7 +210,11 @@ func (n *Node) handleClientQuery(c *conn, q *gnutella.Query) {
 		n.mu.Unlock()
 		return
 	}
-	n.routes[q.ID] = &routeEntry{owner: c.owner, at: time.Now()}
+	rt := &routeEntry{owner: c.owner, at: time.Now()}
+	if n.routeLearns {
+		rt.terms = titleTerms(q.Text)
+	}
+	n.routes[q.ID] = rt
 	hit := n.searchLocked(q.ID, q.Text)
 	peers := n.peerListLocked(nil)
 	ttl := uint8(n.opts.TTL)
@@ -210,6 +225,7 @@ func (n *Node) handleClientQuery(c *conn, q *gnutella.Query) {
 			n.opts.Logf("p2p: responding to client: %v", err)
 		}
 	}
+	peers = n.selectPeers(peers, q.Text, q.ID, int(ttl), 0)
 	n.flood(&gnutella.Query{ID: q.ID, TTL: ttl, MinSpeed: q.MinSpeed, Text: q.Text}, peers)
 }
 
@@ -232,13 +248,18 @@ func (n *Node) handleClientUpdate(c *conn, u *gnutella.Update) {
 // runPeer serves an overlay link to another super-peer.
 func (n *Node) runPeer(c *conn) {
 	n.mu.Lock()
+	c.peerID = n.nextPeerID
+	n.nextPeerID++
 	n.peers[c] = struct{}{}
 	n.mu.Unlock()
+	n.summariesChanged() // advertise our routing summary on the new link
 	defer func() {
 		c.c.Close()
 		n.mu.Lock()
 		delete(n.peers, c)
 		n.mu.Unlock()
+		n.rstate.DropNeighbor(c.peerID)
+		n.summariesChanged() // adverts shrink without this link's summary
 	}()
 	for {
 		msg, err := c.read()
@@ -256,9 +277,14 @@ func (n *Node) runPeer(c *conn) {
 		case *gnutella.Query:
 			n.enqueueQuery(c, m, true)
 		case *gnutella.QueryHit:
-			n.handleQueryHit(m)
+			n.handleQueryHit(c, m)
 		case *gnutella.Busy:
 			n.handleBusy(m)
+		case *gnutella.Summary:
+			if n.routeSummaries {
+				n.rstate.SetSummary(c.peerID, m.Terms)
+				n.summariesChanged() // our adverts to other links now differ
+			}
 		default:
 			n.opts.Logf("p2p: unexpected %T from peer %s", m, c.c.RemoteAddr())
 			return
@@ -275,7 +301,11 @@ func (n *Node) handlePeerQuery(c *conn, q *gnutella.Query) {
 		n.mu.Unlock()
 		return // redundant copy: received, then dropped
 	}
-	n.routes[q.ID] = &routeEntry{via: c, owner: -1, at: time.Now()}
+	rt := &routeEntry{via: c, owner: -1, at: time.Now()}
+	if n.routeLearns {
+		rt.terms = titleTerms(q.Text)
+	}
+	n.routes[q.ID] = rt
 	hit := n.searchLocked(q.ID, q.Text)
 	var peers []*conn
 	if q.TTL > 1 {
@@ -290,6 +320,9 @@ func (n *Node) handlePeerQuery(c *conn, q *gnutella.Query) {
 		}
 	}
 	if len(peers) > 0 {
+		peers = n.selectPeers(peers, q.Text, q.ID, int(q.TTL)-1, int(q.Hops)+1)
+	}
+	if len(peers) > 0 {
 		n.flood(&gnutella.Query{
 			ID: q.ID, TTL: q.TTL - 1, Hops: q.Hops + 1,
 			MinSpeed: q.MinSpeed, Text: q.Text,
@@ -299,13 +332,18 @@ func (n *Node) handlePeerQuery(c *conn, q *gnutella.Query) {
 
 // handleQueryHit routes a Response along the reverse path: to the peer the
 // query came from, to the local client that originated it, or to a local
-// search waiter.
-func (n *Node) handleQueryHit(h *gnutella.QueryHit) {
+// search waiter. c is the peer link the hit arrived on; when the routing
+// strategy learns from hit history that link gets the credit.
+func (n *Node) handleQueryHit(c *conn, h *gnutella.QueryHit) {
 	n.mu.Lock()
 	rt, ok := n.routes[h.ID]
 	var target *conn
 	var local chan *gnutella.QueryHit
+	var learnTerms []string
 	if ok {
+		if n.routeLearns && len(rt.terms) > 0 {
+			learnTerms = rt.terms
+		}
 		switch {
 		case rt.local != nil:
 			local = rt.local
@@ -316,6 +354,9 @@ func (n *Node) handleQueryHit(h *gnutella.QueryHit) {
 		}
 	}
 	n.mu.Unlock()
+	if learnTerms != nil {
+		n.rstate.RecordHit(c.peerID, learnTerms)
+	}
 	if local != nil {
 		select {
 		case local <- h:

@@ -25,6 +25,8 @@ import (
 	"spnet/internal/gnutella"
 	"spnet/internal/index"
 	"spnet/internal/metrics"
+	"spnet/internal/routing"
+	"spnet/internal/stats"
 )
 
 // Protocol handshake lines.
@@ -90,6 +92,14 @@ type Options struct {
 	// before connections are torn down (default 2s; negative disables the
 	// drain).
 	DrainTimeout time.Duration
+	// Routing selects the query-forwarding strategy over peer links (nil:
+	// flood, the paper's protocol). Content-aware strategies exchange
+	// Summary messages with neighbors automatically.
+	Routing routing.Strategy
+	// RoutingSeed seeds the strategy's randomness (randomwalk's walker
+	// picks, learned's exploration). A fixed seed gives a fixed decision
+	// sequence for a fixed message order.
+	RoutingSeed uint64
 	// Wrap, when set, wraps every accepted connection — the hook
 	// internal/faults uses to inject message drop, delay, truncation,
 	// resets and partitions.
@@ -173,6 +183,9 @@ type routeEntry struct {
 	// busyN, when set on a locally originated search, counts Busy
 	// (load-shed) signals routed back for the query.
 	busyN *atomic.Int32
+	// terms caches the query's keywords when the routing strategy learns
+	// from hit history, so responses can credit the neighbor they came via.
+	terms []string
 	at    time.Time
 }
 
@@ -190,6 +203,17 @@ type Node struct {
 	routes  map[gnutella.GUID]*routeEntry
 	nextOwn int
 	closed  bool
+
+	// Routing strategy state: route never changes after NewNode; rstate
+	// locks internally. nextPeerID (guarded by mu) hands each peer link a
+	// stable id in rstate's namespace. sumMu serializes summary
+	// recomputation so adverts can never be sent out of order.
+	route          routing.Strategy
+	routeLearns    bool
+	routeSummaries bool
+	rstate         *routing.NodeState
+	nextPeerID     int
+	sumMu          sync.Mutex
 
 	// Admission counts, maintained at register/unregister time. The
 	// clients/peers maps are only populated later (on Join / in runPeer), so
@@ -227,7 +251,7 @@ type queryTask struct {
 // NewNode creates a node; call Listen to start serving.
 func NewNode(opts Options) *Node {
 	opts.setDefaults()
-	return &Node{
+	n := &Node{
 		opts:    opts,
 		index:   index.New(),
 		clients: make(map[int]*conn),
@@ -239,6 +263,15 @@ func NewNode(opts Options) *Node {
 		metrics: metrics.NewNodeMetrics(),
 		stop:    make(chan struct{}),
 	}
+	n.route = opts.Routing
+	if n.route == nil {
+		n.route = routing.NewFlood()
+	}
+	n.routeLearns = routing.Learns(n.route)
+	n.routeSummaries = routing.UsesSummaries(n.route)
+	n.rstate = routing.NewNodeState(stats.NewRNG(opts.RoutingSeed))
+	n.metrics.InitForwarded(n.route.Name())
+	return n
 }
 
 // Metrics returns the node's metric set; serve its registry with

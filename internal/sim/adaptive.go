@@ -4,7 +4,6 @@ import (
 	"spnet/internal/analysis"
 	"spnet/internal/cost"
 	"spnet/internal/design"
-	"spnet/internal/metrics"
 )
 
 // AdaptiveOptions turn on the Section 5.3 local decision rules: each
@@ -389,19 +388,6 @@ func (s *Simulator) detachLargestClient(c *clusterNode) *clientNode {
 	cl := c.clients[best]
 	c.clients = append(c.clients[:best], c.clients[best+1:]...)
 	return cl
-}
-
-// clientJoinOne ships one client's metadata to a single partner (used when a
-// new partner builds its index).
-func (s *Simulator) clientJoinOne(c *clientNode, p *partnerNode) {
-	jb, jpS := cost.SendJoin(c.files)
-	_, jpR := cost.RecvJoin(c.files)
-	c.counters.addOut(metrics.ClassJoin, float64(jb))
-	c.counters.procU += float64(jpS)
-	s.pmClient(c)
-	p.counters.addIn(metrics.ClassJoin, float64(jb))
-	p.counters.procU += float64(jpR) + float64(cost.ProcessJoin(c.files))
-	s.pmPartner(p)
 }
 
 // randomNonNeighbor picks a random live cluster that is not yet a neighbor.

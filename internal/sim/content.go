@@ -5,6 +5,7 @@ import (
 
 	"spnet/internal/content"
 	"spnet/internal/index"
+	"spnet/internal/stats"
 )
 
 // ContentOptions switch the simulator from the Appendix B match-sampling
@@ -21,6 +22,15 @@ import (
 type ContentOptions struct {
 	// Library generates titles and queries (nil selects the default).
 	Library *content.Library
+	// Titles, when non-nil, overrides Library title sampling: it returns the
+	// title terms for file `file` of cluster-local owner `owner` in cluster
+	// `cluster`. Experiments use it to plant known content distributions so
+	// routing-strategy recall can be measured against ground truth.
+	Titles func(cluster, owner, file int) []string
+	// Queries, when non-nil, overrides Library query sampling. The RNG is
+	// the simulator's own stream, so a deterministic hook keeps the query
+	// workload identical across routing strategies.
+	Queries func(rng *stats.RNG) []string
 }
 
 // contentMode reports whether concrete-content evaluation is on.
@@ -57,15 +67,33 @@ func (s *Simulator) initContent() error {
 		}
 		c.nextOwner = owner
 	}
+	// Generation 1 marks the freshly built indexes; clusters build routing
+	// summaries lazily against this generation (see refreshSummaries).
+	s.indexGen = 1
 	return nil
+}
+
+// sampleQueryTerms draws the keyword terms for a new source query.
+func (s *Simulator) sampleQueryTerms() []string {
+	if q := s.opts.Content.Queries; q != nil {
+		return q(s.rng)
+	}
+	return s.opts.Content.Library.SampleQuery(s.rng)
 }
 
 // indexPeerFiles samples titles for a peer's collection and indexes them.
 func (s *Simulator) indexPeerFiles(c *clusterNode, owner, files int) error {
 	lib := s.opts.Content.Library
+	titles := s.opts.Content.Titles
 	for f := 0; f < files; f++ {
 		doc := index.DocID{Owner: owner, File: uint32(f)}
-		if err := c.index.Add(doc, lib.SampleTitle(s.rng)); err != nil {
+		var title []string
+		if titles != nil {
+			title = titles(c.id, owner, f)
+		} else {
+			title = lib.SampleTitle(s.rng)
+		}
+		if err := c.index.Add(doc, title); err != nil {
 			return err
 		}
 	}
@@ -78,11 +106,13 @@ func (s *Simulator) indexPeerFiles(c *clusterNode, owner, files int) error {
 func (s *Simulator) contentReindexClient(c *clientNode) {
 	cl := c.cluster
 	cl.index.RemoveOwner(c.owner)
+	cl.ownSummary = nil
 	// Errors cannot occur here: owner ids are non-negative and titles are
 	// library-generated.
 	if err := s.indexPeerFiles(cl, c.owner, c.files); err != nil {
 		panic(err)
 	}
+	s.indexGen++ // routing summaries referencing this cluster are now stale
 }
 
 // contentEvaluate answers a keyword query over the cluster's real index.

@@ -12,6 +12,7 @@ type queryMsg struct {
 	class int      // query class sampled at the source (g distribution)
 	terms []string // keyword terms (content mode)
 	ttl   int      // remaining TTL, decremented by the receiver
+	hops  int      // overlay hops traveled so far (routing strategy input)
 	from  *partnerNode
 }
 
@@ -49,12 +50,7 @@ func (s *Simulator) userQueryFromClient(c *clientNode) {
 	p := c.cluster.partners[c.rr%len(c.cluster.partners)]
 	c.rr++
 	// Client -> super-peer hop.
-	c.counters.addOut(metrics.ClassQuery, s.qBytes)
-	c.counters.procU += s.sendQProc
-	s.pmClient(c)
-	p.counters.addIn(metrics.ClassQuery, s.qBytes)
-	p.counters.procU += s.recvQProc
-	s.pmPartner(p)
+	s.chargeClientToPartner(c, p, metrics.ClassQuery, s.qBytes, s.sendQProc, s.recvQProc)
 	s.sourceQuery(p, c)
 }
 
@@ -68,8 +64,8 @@ func (s *Simulator) userQueryFromPartner(p *partnerNode) {
 }
 
 // sourceQuery executes the source-side behavior at partner p: process over
-// the local index, answer the originating client if any, and flood the
-// overlay with the cluster's TTL.
+// the local index, answer the originating client if any, and forward over
+// the overlay with the cluster's TTL under the active routing strategy.
 func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) {
 	s.queries++
 	id := s.nextQueryID
@@ -77,11 +73,15 @@ func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) {
 	var class int
 	var terms []string
 	if s.contentMode() {
-		terms = s.opts.Content.Library.SampleQuery(s.rng)
+		terms = s.sampleQueryTerms()
 	} else {
 		class = s.prof.Queries.SampleClass(s.rng)
 	}
-	p.cluster.seen[id] = seenEntry{from: nil, origin: origin, at: s.sched.now}
+	entry := seenEntry{from: nil, origin: origin, at: s.sched.now}
+	if s.routeLearns {
+		entry.terms = terms
+	}
+	p.cluster.seen[id] = entry
 
 	// Process over the local index.
 	results, addrs := s.evaluateLocally(p, class, terms)
@@ -92,14 +92,11 @@ func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) {
 		s.deliverResponseToClient(p, origin, addrs, results)
 	}
 
-	// Flood to every neighbor cluster.
 	if p.cluster.ttl < 1 {
 		return
 	}
 	msg := queryMsg{id: id, class: class, terms: terms, ttl: p.cluster.ttl, from: p}
-	p.cluster.forEachNeighbor(func(nb *clusterNode) {
-		s.sendQueryTo(p, nb, msg)
-	})
+	s.forwardQuery(p, msg, nil)
 }
 
 // sendQueryTo transmits one query copy from partner p to (one partner of)
@@ -110,6 +107,7 @@ func (s *Simulator) sendQueryTo(p *partnerNode, nb *clusterNode, msg queryMsg) {
 	}
 	target := nb.partners[nb.rrOut%len(nb.partners)]
 	nb.rrOut++
+	s.queriesForwarded++
 	p.counters.addOut(metrics.ClassQuery, s.qBytes)
 	p.counters.procU += s.sendQProc
 	s.pmPartner(p)
@@ -131,7 +129,11 @@ func (s *Simulator) handleQuery(p *partnerNode, msg queryMsg) {
 	if _, dup := p.cluster.seen[msg.id]; dup {
 		return // redundant copy: received, then dropped
 	}
-	p.cluster.seen[msg.id] = seenEntry{from: msg.from, at: s.sched.now}
+	entry := seenEntry{from: msg.from, at: s.sched.now}
+	if s.routeLearns {
+		entry.terms = msg.terms
+	}
+	p.cluster.seen[msg.id] = entry
 
 	results, addrs := s.evaluateLocally(p, msg.class, msg.terms)
 	p.counters.procU += float64(cost.ProcessQuery(float64(results)))
@@ -143,13 +145,12 @@ func (s *Simulator) handleQuery(p *partnerNode, msg queryMsg) {
 	if ttl < 1 {
 		return
 	}
-	fwd := queryMsg{id: msg.id, class: msg.class, terms: msg.terms, ttl: ttl}
-	p.cluster.forEachNeighbor(func(nb *clusterNode) {
-		if msg.from != nil && nb == msg.from.cluster {
-			return // never back over the arrival edge
-		}
-		s.sendQueryTo(p, nb, fwd)
-	})
+	fwd := queryMsg{id: msg.id, class: msg.class, terms: msg.terms, ttl: ttl, hops: msg.hops + 1}
+	var exclude *clusterNode
+	if msg.from != nil {
+		exclude = msg.from.cluster // never back over the arrival edge
+	}
+	s.forwardQuery(p, fwd, exclude)
 }
 
 // evaluateLocally determines the number of matching files and responding
@@ -211,6 +212,11 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 	if !ok {
 		return // path expired (e.g. the query record was cleaned up)
 	}
+	if s.routeLearns && msg.from != nil && len(entry.terms) > 0 {
+		// Credit the neighbor the response arrived through: its subtree
+		// produced results for these terms.
+		s.routingState(p.cluster).RecordHit(msg.from.cluster.id, entry.terms)
+	}
 	if entry.from == nil {
 		// This partner sourced the query.
 		s.resultsTotal += float64(msg.results)
@@ -231,12 +237,9 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 // to the client that submitted the query.
 func (s *Simulator) deliverResponseToClient(p *partnerNode, c *clientNode, addrs, results int) {
 	b := respCost(addrs, results)
-	p.counters.addOut(metrics.ClassResponse, b)
-	p.counters.procU += float64(cost.SendRespBase) +
+	sendU := float64(cost.SendRespBase) +
 		cost.SendRespPerAddr*float64(addrs) + cost.SendRespPerResult*float64(results)
-	s.pmPartner(p)
-	c.counters.addIn(metrics.ClassResponse, b)
-	c.counters.procU += float64(cost.RecvRespBase) +
+	recvU := float64(cost.RecvRespBase) +
 		cost.RecvRespPerAddr*float64(addrs) + cost.RecvRespPerResult*float64(results)
-	s.pmClient(c)
+	s.chargePartnerToClient(p, c, metrics.ClassResponse, b, sendU, recvU)
 }

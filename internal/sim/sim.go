@@ -10,6 +10,7 @@ import (
 	"spnet/internal/index"
 	"spnet/internal/metrics"
 	"spnet/internal/network"
+	"spnet/internal/routing"
 	"spnet/internal/stats"
 	"spnet/internal/workload"
 )
@@ -37,6 +38,11 @@ type Options struct {
 	// Content, when non-nil, evaluates queries over real inverted indexes
 	// instead of the Appendix B match-sampling model.
 	Content *ContentOptions
+	// Routing selects the query-forwarding strategy (nil = flood, the
+	// paper's protocol). Strategy randomness draws from a generator
+	// independent of the simulation stream, so selecting flood reproduces
+	// the pre-strategy event sequence bit-identically.
+	Routing routing.Strategy
 }
 
 // Measured is a simulation run's output: observed (not expected) loads under
@@ -63,6 +69,11 @@ type Measured struct {
 	EPL float64
 	// QueriesIssued counts queries submitted by users.
 	QueriesIssued int
+	// QueriesForwarded counts query copies sent over super-peer overlay
+	// links — the quantity routing strategies reduce relative to flood.
+	QueriesForwarded int
+	// Strategy is the routing strategy the run used ("flood", ...).
+	Strategy string
 	// EventsExecuted counts simulator events.
 	EventsExecuted int
 	// FinalClusters reports the number of live clusters at the end of the
@@ -132,6 +143,10 @@ type seenEntry struct {
 	from   *partnerNode // nil when this partner is the query source
 	origin *clientNode  // non-nil when a local client sourced the query
 	at     float64
+	// terms is the query's keyword set, retained only when the routing
+	// strategy learns from hit history (so responses can credit the
+	// neighbor they arrived through).
+	terms []string
 }
 
 // partnerNode is one super-peer partner (a full node; a non-redundant
@@ -180,6 +195,17 @@ type clusterNode struct {
 	// partners hold identical replicas, modeled once.
 	index     *index.Index
 	nextOwner int
+	// routing is the cluster's per-neighbor strategy state, created lazily.
+	routing *routing.NodeState
+	// summaryGen is the Simulator.indexGen the cluster's advertised
+	// summaries were last rebuilt at (routing-index strategy only).
+	summaryGen int
+	// ownSummary caches index.Summary(); invalidated when this cluster's
+	// own index mutates, so neighbor BFS merges reuse the snapshot.
+	ownSummary *index.Summary
+	// summaryNext is the earliest virtual time the cluster may rebuild its
+	// advertised summaries again (periodic-advertisement rate limit).
+	summaryNext float64
 }
 
 func (c *clusterNode) dissolved() bool { return len(c.partners) == 0 }
@@ -240,6 +266,20 @@ type Simulator struct {
 	sendQProc float64
 	recvQProc float64
 
+	// Routing strategy state. routeRNG seeds per-cluster NodeStates from a
+	// stream independent of s.rng so strategy randomness cannot perturb the
+	// flood-deterministic simulation stream; indexGen invalidates cached
+	// routing-index summaries when a content index mutates.
+	route            routing.Strategy
+	routeLearns      bool
+	routeSummaries   bool
+	routeRNG         *stats.RNG
+	indexGen         int
+	queriesForwarded int
+	candBuf          []routing.Candidate
+	candNodes        []*clusterNode
+	selBuf           []int
+
 	nextQueryID       uint64
 	arrivalsScheduled bool
 
@@ -267,6 +307,7 @@ func New(inst *network.Instance, opts Options) (*Simulator, error) {
 		prof: inst.Profile,
 		opts: opts,
 	}
+	s.initRouting()
 	qb, sp := cost.SendQuery(inst.Profile.QueryLen)
 	_, rp := cost.RecvQuery(inst.Profile.QueryLen)
 	s.qBytes, s.sendQProc, s.recvQProc = float64(qb), float64(sp), float64(rp)
@@ -434,6 +475,8 @@ func (s *Simulator) measure() *Measured {
 	m := &Measured{
 		Duration:          s.opts.Duration,
 		QueriesIssued:     s.queries,
+		QueriesForwarded:  s.queriesForwarded,
+		Strategy:          s.route.Name(),
 		EventsExecuted:    s.events,
 		FailuresInjected:  s.failuresInjected,
 		ClientQueriesLost: s.clientQueriesLost,
@@ -493,6 +536,11 @@ func (s *Simulator) measure() *Measured {
 // scrape pipeline consumes live and simulated runs alike. Values are
 // per-partner mean totals reconstructed from the class bandwidth breakdown.
 func (m *Measured) RegisterMetrics(r *metrics.Registry) {
+	fwd := float64(m.QueriesForwarded)
+	r.CounterFunc(metrics.MetricQueriesForwarded,
+		"Query copies forwarded over super-peer overlay links.",
+		func() float64 { return fwd },
+		metrics.Label{Name: "strategy", Value: m.Strategy})
 	for v, cls := range m.SuperPeerClassBps {
 		bytes := cls.Scale(m.Duration / 8)
 		clusterLbl := metrics.Label{Name: "cluster", Value: strconv.Itoa(v)}

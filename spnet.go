@@ -49,6 +49,7 @@ import (
 	"spnet/internal/metrics"
 	"spnet/internal/network"
 	"spnet/internal/p2p"
+	"spnet/internal/routing"
 	"spnet/internal/sim"
 	"spnet/internal/stats"
 	"spnet/internal/workload"
@@ -112,6 +113,41 @@ type Result = analysis.Result
 
 // Evaluate runs the paper's mean-value analysis over one instance.
 func Evaluate(inst *Instance) *Result { return analysis.Evaluate(inst) }
+
+// RoutingStrategy decides, per hop, which overlay neighbors receive a query —
+// the pluggable replacement for the paper's hardcoded TTL flood. The same
+// strategy value drives the simulator (SimOptions.Routing), live nodes
+// (NodeOptions.Routing) and, through RoutingForwards, the analysis engine.
+type RoutingStrategy = routing.Strategy
+
+// RoutingForwards is a strategy's analytic model: the expected number of
+// query copies a node with d eligible neighbors forwards, at the source and
+// at relays. EvaluateStrategy consumes it.
+type RoutingForwards = routing.Forwards
+
+// ParseRouting builds a strategy from a flag-style spec: "flood",
+// "randomwalk" (optionally "randomwalk:k"), "routingindex" or "learned".
+func ParseRouting(spec string) (RoutingStrategy, error) { return routing.Parse(spec) }
+
+// RoutingNames lists the built-in routing strategy names.
+func RoutingNames() []string { return routing.Names() }
+
+// FloodForwards, RandomWalkForwards and ConstForwards build the analytic
+// forward models for the built-in strategies.
+func FloodForwards() *RoutingForwards           { return routing.FloodForwards() }
+func RandomWalkForwards(k int) *RoutingForwards { return routing.RandomWalkForwards(k) }
+func ConstForwards(name string, source, relay float64) *RoutingForwards {
+	return routing.ConstForwards(name, source, relay)
+}
+
+// EvaluateStrategy runs the mean-value analysis with a routing strategy's
+// forward model in place of the flood: each hop forwards fw.Source/fw.Relay
+// copies in expectation instead of one per eligible neighbor, scaling query
+// traffic, results and reach accordingly. A nil fw is the exact flood
+// evaluation (identical to Evaluate).
+func EvaluateStrategy(inst *Instance, fw *RoutingForwards) *Result {
+	return analysis.EvaluateStrategy(inst, fw)
+}
 
 // Breakdown attributes aggregate load to protocol components (query
 // transfer, query processing, response transfer, joins, updates, packet
@@ -384,6 +420,17 @@ func TelemetryHandler(reg *MetricsRegistry) http.Handler { return metrics.Handle
 // LoadValidationParams shape RunLoadValidation, the model-vs-measured
 // validation experiment.
 type LoadValidationParams = experiments.LoadValidationParams
+
+// RoutingCompareParams shape RunRoutingCompare, the three-way routing
+// strategy comparison.
+type RoutingCompareParams = experiments.RoutingCompareParams
+
+// RunRoutingCompare prices each routing strategy analytically, simulates it,
+// and measures it on a live TCP star network, reporting forwarded-query
+// bandwidth saved and recall lost against the flood baseline.
+func RunRoutingCompare(p RoutingCompareParams) (*ExperimentReport, error) {
+	return experiments.RunRoutingCompare(p)
+}
 
 // RunLoadValidation evaluates, simulates and actually runs the same small
 // super-peer network, scrapes each live super-peer's telemetry endpoint, and
