@@ -47,6 +47,13 @@ func main() {
 		rseed   = flag.Uint64("routing-seed", 1, "seed for randomized routing strategies")
 		verbose = flag.Bool("v", false, "log protocol diagnostics")
 
+		trustOn    = flag.Bool("trust", false, "reputation defenses: validate QueryHits, score neighbor links (spnet_peer_reputation), trust-weighted overlay admission")
+		trustShare = flag.Float64("trust-share", 0.5, "with -trust: queue fraction reserved for overlay queries, scaled by link reputation")
+		misDrop    = flag.Float64("mis-drop", 0, "misbehave (harness only): probability of silently dropping a query")
+		misForge   = flag.Float64("mis-forge", 0, "misbehave (harness only): probability of forging a QueryHit for a relayed query")
+		misBusy    = flag.Float64("mis-busylie", 0, "misbehave (harness only): probability of Busy-refusing a client with capacity to spare")
+		misSeed    = flag.Uint64("mis-seed", 1, "seed for the misbehavior draw stream")
+
 		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "TCP dial timeout for peer connections")
 		handTO    = flag.Duration("handshake-timeout", 10*time.Second, "hello-exchange timeout")
 		writeTO   = flag.Duration("write-timeout", 30*time.Second, "per-message write timeout")
@@ -62,6 +69,13 @@ func main() {
 	}
 	if *hbEvery == 0 {
 		opts.HeartbeatInterval = -1 // flag 0 means off; Options treats 0 as "default"
+	}
+	opts.Trust = *trustOn
+	opts.TrustPeerShare = *trustShare
+	if *misDrop > 0 || *misForge > 0 || *misBusy > 0 {
+		opts.Misbehave = &spnet.MisbehaveOptions{
+			Drop: *misDrop, Forge: *misForge, BusyLie: *misBusy, Seed: *misSeed,
+		}
 	}
 	strat, err := spnet.ParseRouting(*routing)
 	if err != nil {

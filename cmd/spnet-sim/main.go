@@ -40,6 +40,12 @@ func main() {
 		mtbf     = flag.Float64("mtbf", 0, "inject super-peer failures with this mean time between failures (s); 0 = off")
 		recovery = flag.Float64("recovery", 120, "failure injection: replacement delay (s)")
 
+		malicious = flag.Float64("malicious", 0, "fraction of super-peer partners that misbehave, in [0,1]; 0 = off")
+		malDrop   = flag.Float64("mal-drop", 1, "adversary: probability a malicious partner silently drops a query")
+		malForge  = flag.Float64("mal-forge", 0, "adversary: probability a malicious relay forges a QueryHit")
+		malBusy   = flag.Float64("mal-busylie", 0, "adversary: probability a malicious partner Busy-refuses its own client")
+		trustOn   = flag.Bool("trust", false, "adversary: reputation-weighted partner selection and forged-hit auditing")
+
 		adaptive  = flag.Bool("adaptive", false, "run the Section 5.3 local decision rules")
 		limitBps  = flag.Float64("limit-bps", 50_000, "adaptive: per-super-peer bandwidth limit each way (bps)")
 		limitProc = flag.Float64("limit-proc", 1e6, "adaptive: per-super-peer processing limit (Hz)")
@@ -89,6 +95,15 @@ func main() {
 	if *contentOn {
 		opts.Content = &spnet.ContentOptions{}
 	}
+	if *malicious > 0 || *trustOn {
+		opts.Adversary = &spnet.AdversaryOptions{
+			Fraction: *malicious,
+			Drop:     *malDrop,
+			Forge:    *malForge,
+			BusyLie:  *malBusy,
+			Trust:    *trustOn,
+		}
+	}
 	if *adaptive {
 		opts.Adaptive = &spnet.AdaptiveOptions{
 			Limit:       spnet.Load{InBps: *limitBps, OutBps: *limitBps, ProcHz: *limitProc},
@@ -122,6 +137,18 @@ func main() {
 		fmt.Printf("failures: %d injected, %d client queries lost (%.2f%%)\n",
 			m.FailuresInjected, m.ClientQueriesLost,
 			100*float64(m.ClientQueriesLost)/float64(m.QueriesIssued+m.ClientQueriesLost))
+	}
+	if *malicious > 0 || *trustOn {
+		fmt.Printf("adversary (%.0f%% malicious, trust %v):\n", 100**malicious, *trustOn)
+		fmt.Printf("  refused %d, dropped %d at access, %d at relays; forged %d (%d accepted, %d detected)\n",
+			m.QueriesRefused, m.QueriesDroppedMalicious, m.RelayDropsMalicious,
+			m.ForgedResponses, m.ForgedAccepted, m.ForgedDetected)
+		if m.ClientQueriesTracked > 0 {
+			fmt.Printf("  client queries: %d tracked, %d lost (%.2f%%); genuine results/query %.2f, spread p50/p90/p99 %.1f/%.1f/%.1f\n",
+				m.ClientQueriesTracked, m.ClientQueriesUnanswered,
+				100*float64(m.ClientQueriesUnanswered)/float64(m.ClientQueriesTracked),
+				m.GenuineResultsPerQuery, m.SpreadP50, m.SpreadP90, m.SpreadP99)
+		}
 	}
 
 	if *compare && !*adaptive && !*contentOn {

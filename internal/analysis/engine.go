@@ -60,6 +60,14 @@ type evaluator struct {
 	// float sequences), including the clique closed form.
 	fw *routing.Forwards
 
+	// honest is the probability a non-source relay behaves honestly for a
+	// given query: processes it over its index, responds, and forwards it,
+	// instead of silently dropping it (adversarial freeloading). 1 is the
+	// pre-adversary model; anything below routes through the probabilistic
+	// reach path, with each relay's forwarding fraction and own response
+	// flow scaled by honest.
+	honest float64
+
 	// Precomputed per-cluster quantities.
 	users      []float64 // query-submitting users per cluster
 	qWeight    []float64 // queries per second originated by the cluster
@@ -131,7 +139,7 @@ func getScratch(n int) *bfsScratch {
 // Evaluate runs Steps 2–3 of the paper's evaluation model over one instance,
 // producing expected loads for every node and the expected quality of
 // results. The instance is treated as read-only.
-func Evaluate(inst *network.Instance) *Result { return evaluate(inst, nil) }
+func Evaluate(inst *network.Instance) *Result { return evaluate(inst, nil, 1) }
 
 // EvaluateStrategy evaluates the instance under a routing strategy's
 // mean-value forwarding model (routing.Forwards gives the expected number of
@@ -142,14 +150,34 @@ func Evaluate(inst *network.Instance) *Result { return evaluate(inst, nil) }
 // query-path charge, response flow and traversal metric is weighted by that
 // probability.
 func EvaluateStrategy(inst *network.Instance, fw *routing.Forwards) *Result {
-	return evaluate(inst, fw)
+	return evaluate(inst, fw, 1)
 }
 
-func evaluate(inst *network.Instance, fw *routing.Forwards) *Result {
+// EvaluateAdversarial evaluates the instance with dishonest relays in the
+// overlay: honest is the probability that a given non-source relay serves a
+// query it receives — for a malicious fraction m of super-peers that each
+// drop with probability d, honest = 1 - m·d. A dishonest relay contributes
+// no local processing, no response flow, and forwards nothing, so reach
+// decays multiplicatively with path length, which is exactly how freeloading
+// hollows out recall in the simulator and the live overlay. honest = 1 (and
+// a nil fw) reproduces Evaluate bit-identically; losses on the client access
+// leg (Busy-lying or dropping one's own clients' queries) are an orthogonal
+// closed form layered on by callers.
+func EvaluateAdversarial(inst *network.Instance, fw *routing.Forwards, honest float64) *Result {
+	if honest < 0 {
+		honest = 0
+	} else if honest > 1 {
+		honest = 1
+	}
+	return evaluate(inst, fw, honest)
+}
+
+func evaluate(inst *network.Instance, fw *routing.Forwards, honest float64) *Result {
 	n := len(inst.Clusters)
 	e := &evaluator{
-		inst: inst,
-		fw:   fw,
+		inst:   inst,
+		fw:     fw,
+		honest: honest,
 		res: &Result{
 			Inst:            inst,
 			spShared:        make([]rawLoad, n),
@@ -180,8 +208,9 @@ func evaluate(inst *network.Instance, fw *routing.Forwards) *Result {
 	e.qBytes, e.sendQProc, e.recvQProc = float64(qb), float64(sp), float64(rp)
 
 	// The clique closed form hard-codes flood propagation; strategy models
-	// route through the generic BFS path (Clique implements VisitNeighbors).
-	if inst.Graph.IsClique() && e.fw == nil {
+	// and adversarial relays route through the generic BFS path (Clique
+	// implements VisitNeighbors).
+	if inst.Graph.IsClique() && e.fw == nil && e.honest >= 1 {
 		e.evalCliqueQueries()
 	} else {
 		e.evalGraphQueries()
@@ -227,7 +256,7 @@ func (e *evaluator) evalGraphQueries() {
 			continue
 		}
 		e.bfs(s, ttl)
-		useFw := e.fw != nil
+		useFw := e.fw != nil || e.honest < 1
 		if useFw {
 			e.computeReachProbs(s, ttl)
 		}
@@ -277,6 +306,11 @@ func (e *evaluator) evalGraphQueries() {
 			wp := w
 			if useFw {
 				wp = w * e.scratch.prob[v]
+				if v != s {
+					// A reached-but-dishonest relay neither processes nor
+					// responds; its expected contribution scales by honest.
+					wp *= e.honest
+				}
 			}
 			pu := float64(cost.ProcessQuery(e.own[v].results))
 			sp[v].procU += wp * pu
@@ -284,6 +318,9 @@ func (e *evaluator) evalGraphQueries() {
 			f := e.own[v]
 			if useFw {
 				p := e.scratch.prob[v]
+				if v != s {
+					p *= e.honest
+				}
 				f.msgs *= p
 				f.addrs *= p
 				f.results *= p
@@ -330,7 +367,7 @@ func (e *evaluator) evalGraphQueries() {
 			e.reachPeersNum += w * peers
 			for _, v32 := range e.scratch.order[1:] {
 				v := int(v32)
-				m := e.scratch.prob[v] * e.own[v].msgs
+				m := e.scratch.prob[v] * e.honest * e.own[v].msgs
 				e.eplNum += w * float64(e.scratch.depth[v]) * m
 				e.eplDen += w * m
 			}
@@ -391,17 +428,26 @@ func (e *evaluator) computeReachProbs(s, ttl int) {
 		if eligible <= 0 {
 			continue
 		}
-		var exp float64
-		if u == s {
-			exp = e.fw.Source(eligible)
-		} else {
-			exp = e.fw.Relay(eligible)
+		f := 1.0 // flood: every eligible edge carries a copy
+		if e.fw != nil {
+			var exp float64
+			if u == s {
+				exp = e.fw.Source(eligible)
+			} else {
+				exp = e.fw.Relay(eligible)
+			}
+			f = exp / float64(eligible)
+			if f < 0 {
+				f = 0
+			} else if f > 1 {
+				f = 1
+			}
 		}
-		f := exp / float64(eligible)
-		if f < 0 {
-			f = 0
-		} else if f > 1 {
-			f = 1
+		if u != s {
+			// A dishonest relay forwards nothing; the source is the client's
+			// own access partner, modeled honest here (access-leg losses are
+			// the caller's closed form).
+			f *= e.honest
 		}
 		fr[u] = f
 	}

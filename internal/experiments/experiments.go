@@ -160,6 +160,7 @@ var registry = []definition{
 	{"breakdown", "Ablation: aggregate load attributed to protocol components", runBreakdown},
 	{"loadvalidation", "Validation: analytical vs simulated vs live-measured super-peer load", runLoadValidationDefault},
 	{"routingcompare", "Extension: query-routing strategies — bandwidth saved vs recall lost, three ways", runRoutingCompareDefault},
+	{"trustsweep", "Extension: adversarial peers vs reputation-weighted selection — lost queries, three ways", runTrustSweepDefault},
 }
 
 // IDs lists the registered experiment ids in order.

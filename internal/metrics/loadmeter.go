@@ -129,6 +129,14 @@ const (
 	MetricBusyReceived = "spnet_busy_received_total"
 	// MetricQueryService is the histogram of query service times in seconds.
 	MetricQueryService = "spnet_query_service_seconds"
+	// MetricHitsDropped counts QueryHits the node refused to relay, labeled
+	// by reason: "unsolicited" (no matching outstanding query route) or
+	// "forged" (failed trust validation).
+	MetricHitsDropped = "spnet_query_hits_dropped_total"
+	// MetricPeerReputation gauges the beta-posterior reliability score of
+	// each neighbor super-peer link, labeled by peer id. Registered per link
+	// when trust-aware mode is on.
+	MetricPeerReputation = "spnet_peer_reputation"
 )
 
 // LoadMeter attributes messages and bytes to the load taxonomy. It is the
@@ -189,16 +197,19 @@ func (m *LoadMeter) Register(r *Registry) {
 type ShedReason uint8
 
 // Shed reasons, in ladder order: the per-client token bucket, the per-conn
-// inflight cap, the bounded dispatch queue.
+// inflight cap, the bounded dispatch queue, and the trust-aware admission
+// cap that bounds how much of the queue a low-reputation overlay partner
+// may occupy.
 const (
 	ShedRateLimit ShedReason = iota
 	ShedInflight
 	ShedQueue
+	ShedAdmission
 
-	numShedReasons = 3
+	numShedReasons = 4
 )
 
-var shedReasonNames = [numShedReasons]string{"rate_limit", "inflight", "queue_full"}
+var shedReasonNames = [numShedReasons]string{"rate_limit", "inflight", "queue_full", "admission"}
 
 func (s ShedReason) String() string {
 	if int(s) < numShedReasons {
@@ -250,6 +261,12 @@ type NodeMetrics struct {
 	Shed [numShedReasons][numSources]*Counter
 	// BusyReceived counts Busy notices from neighbors.
 	BusyReceived *Counter
+	// HitsUnsolicited counts QueryHits dropped because no outstanding query
+	// route matched their GUID.
+	HitsUnsolicited *Counter
+	// HitsForged counts QueryHits dropped by trust validation (no dialable
+	// responder behind any claimed result).
+	HitsForged *Counter
 	// QueryService is the query service-time histogram (seconds).
 	QueryService *Histogram
 	// QueriesForwarded counts query copies sent on to neighbor super-peers.
@@ -277,6 +294,10 @@ func NewNodeMetrics() *NodeMetrics {
 		}
 	}
 	nm.BusyReceived = r.Counter(MetricBusyReceived, "Busy notices received from neighbors.")
+	nm.HitsUnsolicited = r.Counter(MetricHitsDropped, "QueryHits refused relay, by reason.",
+		Label{"reason", "unsolicited"})
+	nm.HitsForged = r.Counter(MetricHitsDropped, "QueryHits refused relay, by reason.",
+		Label{"reason", "forged"})
 	nm.QueryService = r.Histogram(MetricQueryService, "Query service time in seconds.", DefLatencyBuckets)
 	return nm
 }

@@ -13,6 +13,7 @@ import (
 	"spnet/internal/gnutella"
 	"spnet/internal/metrics"
 	"spnet/internal/stats"
+	"spnet/internal/trust"
 )
 
 // NeighborStatus reports query delivery to one overlay neighbor during a
@@ -276,6 +277,21 @@ type DialOptions struct {
 	HeartbeatInterval time.Duration
 	// Seed drives the jitter stream (fixed seed → fixed delays).
 	Seed uint64
+	// Trust enables reputation-ranked partner selection: each search scores
+	// the current super-peer on whether it produced genuine results (results
+	// backed by a dialable owner address), refusals count against it, and
+	// failover walks the ranked list in reliability-score order instead of
+	// list order. When the best rival's score exceeds the current partner's
+	// by TrustMargin the client re-homes proactively.
+	Trust bool
+	// TrustMargin is how far (in score) a rival must lead before the client
+	// re-homes to it (default 0.15; the hysteresis that prevents flapping
+	// between comparable partners).
+	TrustMargin float64
+	// TrustPriors, when non-empty, seeds the reputation book with initial
+	// reliability views aligned index-for-index with Addrs — the noisy
+	// initial views of the reliability model (values clamped to [0, 1]).
+	TrustPriors []float64
 	// Metrics, when set, meters the client's traffic: raw socket bytes and
 	// per-message load-taxonomy attribution land in this metric set, under
 	// the same names super-peers use.
@@ -303,6 +319,9 @@ func (o *DialOptions) setDefaults() {
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 8
 	}
+	if o.TrustMargin <= 0 || o.TrustMargin >= 1 {
+		o.TrustMargin = 0.15
+	}
 	if o.Dial == nil {
 		o.Dial = net.DialTimeout
 	}
@@ -323,6 +342,10 @@ type Client struct {
 	guid gnutella.GUID
 	rng  *stats.RNG // jitter stream; used only under recMu
 
+	// book scores each ranked super-peer's reliability (keyed by index into
+	// opts.Addrs); nil unless DialOptions.Trust. The book locks internally.
+	book *trust.Book
+
 	mu      sync.Mutex // guards conn/br/files/addrIdx/broken/closed
 	wmu     sync.Mutex // serializes message writes
 	c       net.Conn
@@ -339,6 +362,24 @@ type Client struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// trustPriorWeight is the pseudo-count weight of DialOptions.TrustPriors —
+// strong enough to steer initial partner choice, weak enough that a few
+// contradicting observations override a wrong view.
+const trustPriorWeight = 4
+
+// rankedOrder returns indices into opts.Addrs in preference order:
+// reputation-score order under Trust, list order otherwise.
+func (cl *Client) rankedOrder() []int {
+	ids := make([]int, len(cl.opts.Addrs))
+	for i := range ids {
+		ids[i] = i
+	}
+	if cl.book != nil {
+		cl.book.Rank(ids)
+	}
+	return ids
 }
 
 // errClientClosed reports operations on a closed client.
@@ -374,10 +415,19 @@ func DialClientOptions(opts DialOptions, files []SharedFile) (*Client, error) {
 		files: append([]SharedFile(nil), files...),
 		stop:  make(chan struct{}),
 	}
+	if opts.Trust {
+		cl.book = trust.NewBook()
+		for i, rel := range opts.TrustPriors {
+			if i >= len(opts.Addrs) {
+				break
+			}
+			cl.book.SetPrior(i, rel, trustPriorWeight)
+		}
+	}
 	var firstErr error
 	connected := false
-	for i, addr := range opts.Addrs {
-		c, br, err := cl.dialOne(addr)
+	for _, i := range cl.rankedOrder() {
+		c, br, err := cl.dialOne(opts.Addrs[i])
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -506,8 +556,10 @@ func (cl *Client) liveConn() (net.Conn, *bufio.Reader, error) {
 // ranked after the dead one, it walks the ranked super-peer list with
 // exponential backoff and jitter, re-handshakes, re-joins with the current
 // collection (reconciling the replacement partner's index), and installs the
-// new connection. Cycles are serialized; a second caller finding the
-// connection already repaired returns immediately.
+// new connection. Under Trust the walk follows reputation-score order (with
+// the partner just left demoted to the end of the cycle) instead of list
+// order. Cycles are serialized; a second caller finding the connection
+// already repaired returns immediately.
 func (cl *Client) failover() error {
 	cl.recMu.Lock()
 	defer cl.recMu.Unlock()
@@ -524,9 +576,24 @@ func (cl *Client) failover() error {
 	fromIdx := cl.addrIdx
 	cl.mu.Unlock()
 
+	var order []int
+	if cl.book != nil {
+		order = cl.rankedOrder()
+		for i, idx := range order {
+			if idx == fromIdx {
+				order = append(append(order[:i:i], order[i+1:]...), fromIdx)
+				break
+			}
+		}
+	}
+
 	var lastErr error
 	for attempt := 0; attempt < cl.opts.MaxAttempts; attempt++ {
-		addr := cl.opts.Addrs[(fromIdx+1+attempt)%len(cl.opts.Addrs)]
+		next := (fromIdx + 1 + attempt) % len(cl.opts.Addrs)
+		if order != nil {
+			next = order[attempt%len(order)]
+		}
+		addr := cl.opts.Addrs[next]
 		if d := cl.opts.Backoff.delay(attempt, cl.rng); d > 0 {
 			cl.opts.OnEvent(Event{Type: EventBackoff, Addr: addr, Attempt: attempt, Delay: d})
 			select {
@@ -560,7 +627,7 @@ func (cl *Client) failover() error {
 
 		cl.mu.Lock()
 		cl.c, cl.br = c, br
-		cl.addrIdx = (fromIdx + 1 + attempt) % len(cl.opts.Addrs)
+		cl.addrIdx = next
 		cl.broken = false
 		cl.reconnects++
 		cl.mu.Unlock()
@@ -704,6 +771,11 @@ type ClientSearchOutcome struct {
 	// Busy counts Busy responses received for this query's GUID: super-peers
 	// that shed the query under overload instead of answering it.
 	Busy int
+	// Genuine counts results backed by a dialable owner address — the
+	// subset a forged hit cannot fake. Under Trust this is what the partner
+	// is scored on; trust-oblivious callers still see forged results in
+	// Results.
+	Genuine int
 }
 
 // SearchDetailed is Search with overload accounting: Busy responses for the
@@ -745,6 +817,7 @@ func (cl *Client) SearchDetailed(query string, window time.Duration) (*ClientSea
 				if cerr := c.SetReadDeadline(time.Time{}); cerr != nil {
 					cl.markBroken(c, cerr)
 				}
+				cl.observeSearch(c, out)
 				return out, nil
 			}
 			cl.markBroken(c, err)
@@ -753,7 +826,13 @@ func (cl *Client) SearchDetailed(query string, window time.Duration) (*ClientSea
 		switch m := msg.(type) {
 		case *gnutella.QueryHit:
 			if m.ID == id {
-				out.Results = append(out.Results, hitResults(m)...)
+				rs := hitResults(m)
+				out.Results = append(out.Results, rs...)
+				for _, r := range rs {
+					if r.OwnerPort != 0 {
+						out.Genuine++
+					}
+				}
 			}
 		case *gnutella.Busy:
 			if m.ID == id {
@@ -764,6 +843,71 @@ func (cl *Client) SearchDetailed(query string, window time.Duration) (*ClientSea
 			// Tolerate unexpected traffic (heartbeat pongs, etc.).
 		}
 	}
+}
+
+// observeSearch scores the current partner on one completed search window —
+// good iff any genuine result came back, so Busy-lying, freeloading and
+// forging all register as bad — then re-homes if a rival's reputation now
+// leads by TrustMargin. Skipped if the connection changed mid-search.
+func (cl *Client) observeSearch(c net.Conn, out *ClientSearchOutcome) {
+	if cl.book == nil {
+		return
+	}
+	cl.mu.Lock()
+	idx := cl.addrIdx
+	live := cl.c == c && !cl.broken && !cl.closed
+	cl.mu.Unlock()
+	if !live {
+		return
+	}
+	cl.book.Observe(idx, out.Genuine > 0)
+	cl.maybeRehome()
+}
+
+// maybeRehome proactively switches to the best-reputed partner when the
+// current one's score has fallen TrustMargin behind it: the live connection
+// is retired and a failover cycle — which under Trust walks partners in
+// score order — installs the better one, re-joining so the replacement's
+// index has this client's collection. A malicious partner keeps its TCP link
+// perfectly healthy, so reputation, not connectivity, has to drive the exit.
+func (cl *Client) maybeRehome() {
+	cl.mu.Lock()
+	cur := cl.addrIdx
+	c := cl.c
+	busy := cl.broken || cl.closed
+	cl.mu.Unlock()
+	if busy {
+		return
+	}
+	curScore := cl.book.Score(cur)
+	best, bestScore := cur, curScore
+	for i := range cl.opts.Addrs {
+		if s := cl.book.Score(i); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best == cur || bestScore < curScore+cl.opts.TrustMargin {
+		return
+	}
+	cl.opts.Logf("p2p: re-homing: partner %s score %.2f trails %s at %.2f",
+		cl.opts.Addrs[cur], curScore, cl.opts.Addrs[best], bestScore)
+	cl.markBroken(c, fmt.Errorf("p2p: partner reputation %.2f trails best %.2f", curScore, bestScore))
+	if err := cl.failover(); err != nil && !errors.Is(err, errClientClosed) {
+		cl.opts.Logf("p2p: re-homing failover: %v", err)
+	}
+}
+
+// PartnerScores reports the client's reputation view of each ranked
+// super-peer address. Nil when DialOptions.Trust is off.
+func (cl *Client) PartnerScores() map[string]float64 {
+	if cl.book == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(cl.opts.Addrs))
+	for i, a := range cl.opts.Addrs {
+		out[a] = cl.book.Score(i)
+	}
+	return out
 }
 
 // BusyResponses reports how many Busy (load-shed) signals the client has

@@ -3,6 +3,7 @@ package p2p
 import (
 	"bufio"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -205,6 +206,16 @@ func (n *Node) dropClient(c *conn) {
 // then flood to the overlay on the client's behalf ("the super-peer will
 // then submit the query to its neighbors as if it were its own").
 func (n *Node) handleClientQuery(c *conn, q *gnutella.Query) {
+	if n.mis.busyLie() {
+		// Adversary: refuse the client's query despite having capacity.
+		n.sendBusy(c, q)
+		return
+	}
+	if n.mis.dropQuery() {
+		// Adversary: accept the query and discard it — the covert refusal a
+		// client can only observe as a result window with nothing in it.
+		return
+	}
 	n.mu.Lock()
 	if _, dup := n.routes[q.ID]; dup {
 		n.mu.Unlock()
@@ -252,6 +263,16 @@ func (n *Node) runPeer(c *conn) {
 	n.nextPeerID++
 	n.peers[c] = struct{}{}
 	n.mu.Unlock()
+	if n.book != nil {
+		// Expose the link's reliability score. Peer ids are never reused, so
+		// each link gets its own series; after disconnect the book entry is
+		// dropped and the gauge reads the uninformative 0.5.
+		id := c.peerID
+		n.metrics.Registry().GaugeFunc(metrics.MetricPeerReputation,
+			"Beta-posterior reliability score of a neighbor super-peer link.",
+			func() float64 { return n.book.Score(id) },
+			metrics.Label{Name: "peer", Value: strconv.Itoa(id)})
+	}
 	n.summariesChanged() // advertise our routing summary on the new link
 	defer func() {
 		c.c.Close()
@@ -259,6 +280,9 @@ func (n *Node) runPeer(c *conn) {
 		delete(n.peers, c)
 		n.mu.Unlock()
 		n.rstate.DropNeighbor(c.peerID)
+		if n.book != nil {
+			n.book.Drop(c.peerID)
+		}
 		n.summariesChanged() // adverts shrink without this link's summary
 	}()
 	for {
@@ -279,7 +303,7 @@ func (n *Node) runPeer(c *conn) {
 		case *gnutella.QueryHit:
 			n.handleQueryHit(c, m)
 		case *gnutella.Busy:
-			n.handleBusy(m)
+			n.handleBusy(c, m)
 		case *gnutella.Summary:
 			if n.routeSummaries {
 				n.rstate.SetSummary(c.peerID, m.Terms)
@@ -296,6 +320,16 @@ func (n *Node) runPeer(c *conn) {
 // local processing, response over the arrival link, and forwarding with a
 // decremented TTL to every other neighbor.
 func (n *Node) handlePeerQuery(c *conn, q *gnutella.Query) {
+	if n.mis != nil {
+		if n.mis.forgeHit() {
+			if err := c.send(forgeQueryHit(q)); err != nil {
+				n.opts.Logf("p2p: sending forged hit: %v", err)
+			}
+		}
+		if n.mis.dropQuery() {
+			return // freeloading: accepted, then silently discarded
+		}
+	}
 	n.mu.Lock()
 	if _, dup := n.routes[q.ID]; dup {
 		n.mu.Unlock()
@@ -334,6 +368,13 @@ func (n *Node) handlePeerQuery(c *conn, q *gnutella.Query) {
 // query came from, to the local client that originated it, or to a local
 // search waiter. c is the peer link the hit arrived on; when the routing
 // strategy learns from hit history that link gets the credit.
+//
+// Hits are validated before anything else happens with them. A hit whose
+// GUID matches no outstanding query is unsolicited — forged, replayed, or
+// stale — and is dropped and counted, never relayed. Under Trust, a hit
+// with no dialable responder behind any claimed result is dropped as forged
+// before the routing strategy can credit the sending link, and the link's
+// reputation is debited; a validated hit earns the link a good observation.
 func (n *Node) handleQueryHit(c *conn, h *gnutella.QueryHit) {
 	n.mu.Lock()
 	rt, ok := n.routes[h.ID]
@@ -354,6 +395,21 @@ func (n *Node) handleQueryHit(c *conn, h *gnutella.QueryHit) {
 		}
 	}
 	n.mu.Unlock()
+	if !ok {
+		n.metrics.HitsUnsolicited.Inc()
+		if n.book != nil {
+			n.book.Observe(c.peerID, false)
+		}
+		return
+	}
+	if n.book != nil {
+		if hitLooksForged(h) {
+			n.metrics.HitsForged.Inc()
+			n.book.Observe(c.peerID, false)
+			return
+		}
+		n.book.Observe(c.peerID, true)
+	}
 	if learnTerms != nil {
 		n.rstate.RecordHit(c.peerID, learnTerms)
 	}
@@ -377,8 +433,12 @@ func (n *Node) handleQueryHit(c *conn, h *gnutella.QueryHit) {
 // handleBusy routes an overloaded peer's load-shed signal along the reverse
 // path, like handleQueryHit, so the query's originator can account for
 // degraded coverage. For locally originated searches the count lands on the
-// route entry's busy counter.
-func (n *Node) handleBusy(b *gnutella.Busy) {
+// route entry's busy counter. Under Trust a solicited Busy debits the
+// sending link's reliability: a refusal is a refusal whether the peer is
+// genuinely overloaded or Busy-lying, and that symmetry is exactly how
+// persistent liars lose score while an occasionally-loaded honest peer's
+// good observations dominate.
+func (n *Node) handleBusy(c *conn, b *gnutella.Busy) {
 	n.metrics.BusyReceived.Inc()
 	n.mu.Lock()
 	rt, ok := n.routes[b.ID]
@@ -396,6 +456,9 @@ func (n *Node) handleBusy(b *gnutella.Busy) {
 		}
 	}
 	n.mu.Unlock()
+	if ok && n.book != nil {
+		n.book.Observe(c.peerID, false)
+	}
 	if target == nil {
 		return // locally counted, or route expired
 	}

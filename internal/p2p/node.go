@@ -27,6 +27,7 @@ import (
 	"spnet/internal/metrics"
 	"spnet/internal/routing"
 	"spnet/internal/stats"
+	"spnet/internal/trust"
 )
 
 // Protocol handshake lines.
@@ -100,6 +101,26 @@ type Options struct {
 	// picks, learned's exploration). A fixed seed gives a fixed decision
 	// sequence for a fixed message order.
 	RoutingSeed uint64
+	// Trust enables the reputation defenses: QueryHits are validated before
+	// they are relayed or credited to the routing strategy, each neighbor
+	// link carries a beta-posterior reliability score (exported as
+	// spnet_peer_reputation), and overlay admission is weighted by the
+	// sending link's score — see TrustPeerShare and TrustFloor.
+	Trust bool
+	// TrustPeerShare is the fraction of QueueDepth that overlay-forwarded
+	// queries may collectively occupy when Trust is on; the share usable by
+	// one link scales with its reliability score. Together with the
+	// client-side remainder this reserves queue slots between overlay and
+	// local-client traffic (default 0.5).
+	TrustPeerShare float64
+	// TrustFloor is the minimum admission weight a fully distrusted link
+	// keeps, so a misjudged peer can still earn its reputation back
+	// (default 0.1).
+	TrustFloor float64
+	// Misbehave, when set, makes this node an adversary for robustness
+	// experiments: it freeloads, forges hits, and Busy-lies per the
+	// configured probabilities. Test hook; nil in production.
+	Misbehave *MisbehaveOptions
 	// Wrap, when set, wraps every accepted connection — the hook
 	// internal/faults uses to inject message drop, delay, truncation,
 	// resets and partitions.
@@ -162,6 +183,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.DrainTimeout == 0 {
 		o.DrainTimeout = 2 * time.Second
+	}
+	if o.TrustPeerShare <= 0 || o.TrustPeerShare > 1 {
+		o.TrustPeerShare = 0.5
+	}
+	if o.TrustFloor <= 0 || o.TrustFloor >= 1 {
+		o.TrustFloor = 0.1
 	}
 	if o.Wrap == nil {
 		o.Wrap = func(c net.Conn) net.Conn { return c }
@@ -237,6 +264,15 @@ type Node struct {
 	// exposed over HTTP via metrics.Handler(node.Metrics().Registry()).
 	metrics *metrics.NodeMetrics
 
+	// book scores each peer link's reliability from observed behavior
+	// (genuine hits vs forged/unsolicited ones vs Busy refusals); nil unless
+	// Options.Trust. peerQueued counts overlay queries queued or executing,
+	// for the trust-aware admission share. mis is the adversary machinery,
+	// nil on honest nodes.
+	book       *trust.Book
+	peerQueued atomic.Int32
+	mis        *misbehaveState
+
 	wg   sync.WaitGroup
 	stop chan struct{}
 }
@@ -261,7 +297,11 @@ func NewNode(opts Options) *Node {
 		routes:  make(map[gnutella.GUID]*routeEntry),
 		queue:   make(chan queryTask, opts.QueueDepth),
 		metrics: metrics.NewNodeMetrics(),
+		mis:     newMisbehaveState(opts.Misbehave),
 		stop:    make(chan struct{}),
+	}
+	if opts.Trust {
+		n.book = trust.NewBook()
 	}
 	n.route = opts.Routing
 	if n.route == nil {
@@ -374,12 +414,20 @@ type Stats struct {
 	// queries.
 	QueriesShedClient int64
 	QueriesShedPeer   int64
+	// QueriesShedAdmission counts overlay queries refused by trust-aware
+	// admission — the reputation-weighted slice of QueriesShedPeer.
+	QueriesShedAdmission int64
 	// RateLimited counts client queries refused with Busy by the
 	// per-client token bucket (always client-sourced: peers are not
 	// token-bucketed).
 	RateLimited int64
 	// BusyReceived counts Busy frames received from overloaded peers.
 	BusyReceived int64
+	// HitsUnsolicited counts QueryHits dropped because no outstanding query
+	// matched their GUID; HitsForged counts hits dropped by trust validation
+	// (no dialable responder behind any claimed result).
+	HitsUnsolicited int64
+	HitsForged      int64
 }
 
 // Stats returns a snapshot of the node's state.
@@ -391,16 +439,28 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return Stats{
-		Clients:           len(n.clients),
-		Peers:             len(n.peers),
-		IndexedFiles:      n.index.NumDocs(),
-		QueriesHandled:    m.QueriesHandled.Value(),
-		QueriesShed:       shedClient + shedPeer,
-		QueriesShedClient: shedClient,
-		QueriesShedPeer:   shedPeer,
-		RateLimited:       rateLimited,
-		BusyReceived:      m.BusyReceived.Value(),
+		Clients:              len(n.clients),
+		Peers:                len(n.peers),
+		IndexedFiles:         n.index.NumDocs(),
+		QueriesHandled:       m.QueriesHandled.Value(),
+		QueriesShed:          shedClient + shedPeer,
+		QueriesShedClient:    shedClient,
+		QueriesShedPeer:      shedPeer,
+		QueriesShedAdmission: m.Shed[metrics.ShedAdmission][metrics.SourcePeer].Value(),
+		RateLimited:          rateLimited,
+		BusyReceived:         m.BusyReceived.Value(),
+		HitsUnsolicited:      m.HitsUnsolicited.Value(),
+		HitsForged:           m.HitsForged.Value(),
 	}
+}
+
+// PeerScores snapshots the node's reputation view of its overlay links,
+// keyed by peer link id. Nil when Options.Trust is off.
+func (n *Node) PeerScores() map[int]float64 {
+	if n.book == nil {
+		return nil
+	}
+	return n.book.Scores()
 }
 
 func (n *Node) acceptLoop() {
@@ -595,13 +655,39 @@ func (n *Node) enqueueQuery(c *conn, q *gnutella.Query, fromPeer bool) {
 		n.sendBusy(c, q)
 		return
 	}
+	if fromPeer && n.book != nil {
+		// Trust-aware admission: overlay queries may collectively occupy at
+		// most a TrustPeerShare slice of the queue — the rest stays reserved
+		// for local clients — and a link's usable slice scales with its
+		// reliability score, so a distrusted neighbor can flood us out of at
+		// most TrustFloor of the overlay share.
+		w := n.book.Weight(c.peerID, n.opts.TrustFloor)
+		limit := int(w * n.opts.TrustPeerShare * float64(n.opts.QueueDepth))
+		if limit < 1 {
+			limit = 1
+		}
+		if int(n.peerQueued.Load()) >= limit {
+			n.metrics.Shed[metrics.ShedAdmission][src].Inc()
+			n.sendBusy(c, q)
+			return
+		}
+	}
 	c.inflight.Add(1)
+	if fromPeer {
+		n.peerQueued.Add(1)
+	}
 	select {
 	case n.queue <- queryTask{c: c, q: q, fromPeer: fromPeer}:
 	case <-n.stop:
 		c.inflight.Add(-1) // shutting down; the connection dies with us
+		if fromPeer {
+			n.peerQueued.Add(-1)
+		}
 	default:
 		c.inflight.Add(-1)
+		if fromPeer {
+			n.peerQueued.Add(-1)
+		}
 		n.metrics.Shed[metrics.ShedQueue][src].Inc()
 		n.sendBusy(c, q)
 	}
@@ -640,6 +726,9 @@ func (n *Node) queryWorker() {
 // dispatch executes one admitted query.
 func (n *Node) dispatch(t queryTask) {
 	defer t.c.inflight.Add(-1)
+	if t.fromPeer {
+		defer n.peerQueued.Add(-1)
+	}
 	start := time.Now()
 	if t.fromPeer {
 		n.handlePeerQuery(t.c, t.q)

@@ -23,9 +23,22 @@
 package routing
 
 import (
+	"sort"
 	"sync"
 
 	"spnet/internal/stats"
+)
+
+// Per-neighbor memory bounds. A misbehaving or fast-churning neighbor must
+// not be able to grow a node's routing state without limit: learned-strategy
+// hit history freezes once a neighbor has MaxLearnedTerms distinct terms
+// (existing terms keep counting; new terms are ignored), and advertised
+// summaries are truncated to MaxSummaryTerms (deterministically, keeping the
+// lexicographically smallest terms, which only ever over-prunes forwarding
+// for the dropped terms).
+const (
+	MaxLearnedTerms = 512
+	MaxSummaryTerms = 4096
 )
 
 // Query is the routing-relevant view of one query at a forwarding decision.
@@ -111,6 +124,11 @@ func (ns *NodeState) slot(id int) *neighborState {
 // term-bearing query; before the first SetSummary a neighbor matches
 // everything.
 func (ns *NodeState) SetSummary(id int, terms []string) {
+	if len(terms) > MaxSummaryTerms {
+		sorted := append([]string(nil), terms...)
+		sort.Strings(sorted)
+		terms = sorted[:MaxSummaryTerms]
+	}
 	set := make(map[string]struct{}, len(terms))
 	for _, t := range terms {
 		set[t] = struct{}{}
@@ -176,6 +194,9 @@ func (ns *NodeState) RecordForward(id int, terms []string) {
 		st.forwards = make(map[string]float64)
 	}
 	for _, t := range terms {
+		if _, known := st.forwards[t]; !known && len(st.forwards) >= MaxLearnedTerms {
+			continue // history full: keep counting known terms only
+		}
 		st.forwards[t]++
 	}
 	ns.mu.Unlock()
@@ -193,6 +214,9 @@ func (ns *NodeState) RecordHit(id int, terms []string) {
 		st.hits = make(map[string]float64)
 	}
 	for _, t := range terms {
+		if _, known := st.hits[t]; !known && len(st.hits) >= MaxLearnedTerms {
+			continue // history full: keep counting known terms only
+		}
 		st.hits[t]++
 	}
 	ns.mu.Unlock()

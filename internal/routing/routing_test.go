@@ -1,11 +1,24 @@
 package routing
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
 	"spnet/internal/stats"
 )
+
+// hasTerm reports whether neighbor id's summary contains term (test helper).
+func (ns *NodeState) hasTerm(id int, term string) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	st := ns.nbrs[id]
+	if st == nil || st.summary == nil {
+		return false
+	}
+	_, ok := st.summary[term]
+	return ok
+}
 
 func cands(ids ...int) []Candidate {
 	out := make([]Candidate, len(ids))
@@ -195,5 +208,48 @@ func TestForwardsModels(t *testing.T) {
 	ff := FloodForwards()
 	if got := ff.Source(7); got != 7 {
 		t.Fatalf("flood Source(7) = %g, want 7", got)
+	}
+}
+
+func TestLearnedHistoryBounded(t *testing.T) {
+	ns := NewNodeState(stats.NewRNG(1))
+	for i := 0; i < MaxLearnedTerms+100; i++ {
+		term := fmt.Sprintf("t%05d", i)
+		ns.RecordForward(1, []string{term})
+		ns.RecordHit(1, []string{term})
+	}
+	ns.mu.Lock()
+	st := ns.nbrs[1]
+	nf, nh := len(st.forwards), len(st.hits)
+	ns.mu.Unlock()
+	if nf != MaxLearnedTerms || nh != MaxLearnedTerms {
+		t.Fatalf("history sizes = %d forwards, %d hits; want frozen at %d", nf, nh, MaxLearnedTerms)
+	}
+	// Known terms keep counting past the cap.
+	ns.RecordForward(1, []string{"t00000"})
+	ns.mu.Lock()
+	count := ns.nbrs[1].forwards["t00000"]
+	ns.mu.Unlock()
+	if count != 2 {
+		t.Fatalf("known-term forward count = %v, want 2", count)
+	}
+}
+
+func TestSummaryBounded(t *testing.T) {
+	ns := NewNodeState(stats.NewRNG(1))
+	terms := make([]string, MaxSummaryTerms+50)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("s%06d", i)
+	}
+	ns.SetSummary(3, terms)
+	if got := ns.SummaryTerms(3); got != MaxSummaryTerms {
+		t.Fatalf("summary size = %d, want truncated to %d", got, MaxSummaryTerms)
+	}
+	// Deterministic truncation: lexicographically smallest terms survive.
+	if !ns.hasTerm(3, "s000000") {
+		t.Fatalf("smallest term should survive truncation")
+	}
+	if ns.hasTerm(3, fmt.Sprintf("s%06d", MaxSummaryTerms+10)) {
+		t.Fatalf("largest terms should be truncated")
 	}
 }

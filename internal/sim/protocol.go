@@ -23,6 +23,10 @@ type respMsg struct {
 	results int
 	hops    int
 	from    *partnerNode
+	// forged marks a fabricated QueryHit from a malicious relay (adversary
+	// mode). The flag is simulator bookkeeping, invisible to honest nodes
+	// unless trust auditing is on.
+	forged bool
 }
 
 // pmPartner and pmClient add the packet-multiplex overhead (Appendix A)
@@ -47,11 +51,36 @@ func (s *Simulator) userQueryFromClient(c *clientNode) {
 		s.clientQueriesLost++
 		return
 	}
-	p := c.cluster.partners[c.rr%len(c.cluster.partners)]
-	c.rr++
+	p, slot := s.advPickPartner(c)
+	if s.adversaryMode() && p.malicious {
+		a := s.adv.opts
+		refuse := a.BusyLie > 0 && s.adv.rng.Float64() < a.BusyLie
+		drop := a.Drop > 0 && s.adv.rng.Float64() < a.Drop
+		if refuse {
+			// The partner never accepts the query: Busy goes back and the
+			// query is lost (recorded as an unanswered client query).
+			s.queries++
+			s.advNewRecord(-1, true)
+			s.advBusyLie(p, c, slot)
+			return
+		}
+		if drop {
+			// Freeloading: the partner accepts the query (and its cost),
+			// then discards it.
+			s.chargeClientToPartner(c, p, metrics.ClassQuery, s.qBytes, s.sendQProc, s.recvQProc)
+			s.queries++
+			s.adv.clientDrops++
+			rec := s.advNewRecord(-1, true)
+			s.advObserveClient(c, slot, rec)
+			return
+		}
+	}
 	// Client -> super-peer hop.
 	s.chargeClientToPartner(c, p, metrics.ClassQuery, s.qBytes, s.sendQProc, s.recvQProc)
-	s.sourceQuery(p, c)
+	rec := s.sourceQuery(p, c)
+	if rec != nil {
+		s.advObserveClient(c, slot, rec)
+	}
 }
 
 // userQueryFromPartner: a super-peer submits its own query (super-peers are
@@ -66,10 +95,11 @@ func (s *Simulator) userQueryFromPartner(p *partnerNode) {
 // sourceQuery executes the source-side behavior at partner p: process over
 // the local index, answer the originating client if any, and forward over
 // the overlay with the cluster's TTL under the active routing strategy.
-func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) {
+func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) *advQueryRecord {
 	s.queries++
 	id := s.nextQueryID
 	s.nextQueryID++
+	rec := s.advNewRecord(int64(id), origin != nil)
 	var class int
 	var terms []string
 	if s.contentMode() {
@@ -88,15 +118,19 @@ func (s *Simulator) sourceQuery(p *partnerNode, origin *clientNode) {
 	p.counters.procU += float64(cost.ProcessQuery(float64(results)))
 	s.resultsTotal += float64(results)
 	s.noteSourceQuery(p.cluster, results)
+	if rec != nil {
+		rec.genuine += results
+	}
 	if origin != nil && results > 0 {
 		s.deliverResponseToClient(p, origin, addrs, results)
 	}
 
 	if p.cluster.ttl < 1 {
-		return
+		return rec
 	}
 	msg := queryMsg{id: id, class: class, terms: terms, ttl: p.cluster.ttl, from: p}
 	s.forwardQuery(p, msg, nil)
+	return rec
 }
 
 // sendQueryTo transmits one query copy from partner p to (one partner of)
@@ -105,8 +139,7 @@ func (s *Simulator) sendQueryTo(p *partnerNode, nb *clusterNode, msg queryMsg) {
 	if nb.isDown() || len(nb.partners) == 0 {
 		return // the neighbor's connections are closed; nothing is sent
 	}
-	target := nb.partners[nb.rrOut%len(nb.partners)]
-	nb.rrOut++
+	target := s.advPickNeighborPartner(p.cluster, nb)
 	s.queriesForwarded++
 	p.counters.addOut(metrics.ClassQuery, s.qBytes)
 	p.counters.procU += s.sendQProc
@@ -128,6 +161,23 @@ func (s *Simulator) handleQuery(p *partnerNode, msg queryMsg) {
 
 	if _, dup := p.cluster.seen[msg.id]; dup {
 		return // redundant copy: received, then dropped
+	}
+	if s.adversaryMode() && p.malicious {
+		// Misbehave before the cluster marks the query seen, so a copy
+		// arriving later over another edge can still be served honestly.
+		a := s.adv.opts
+		forge := a.Forge > 0 && s.adv.rng.Float64() < a.Forge
+		drop := a.Drop > 0 && s.adv.rng.Float64() < a.Drop
+		if forge {
+			s.adv.forged++
+			s.sendResponse(p, msg.from, respMsg{
+				id: msg.id, addrs: 1, results: advForgedResults, forged: true,
+			})
+		}
+		if drop {
+			s.adv.relayDrops++
+			return
+		}
 	}
 	entry := seenEntry{from: msg.from, at: s.sched.now}
 	if s.routeLearns {
@@ -212,9 +262,27 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 	if !ok {
 		return // path expired (e.g. the query record was cleaned up)
 	}
+	if msg.forged && s.adversaryMode() && s.adv.opts.Trust {
+		// Audit: the fabricated hit is detected, dropped before it can
+		// credit the routing strategy, and the sending partner's overlay
+		// reputation takes the hit.
+		s.adv.forgedDetected++
+		if p.cluster.trustBook != nil && msg.from != nil {
+			p.cluster.trustBook.Observe(msg.from.advID, false)
+		}
+		return
+	}
+	if s.adversaryMode() && s.adv.opts.Trust && !msg.forged &&
+		msg.from != nil && p.cluster.trustBook != nil {
+		// A genuine response relayed through this neighbor partner: score
+		// it good in the overlay book.
+		p.cluster.trustBook.Observe(msg.from.advID, true)
+	}
 	if s.routeLearns && msg.from != nil && len(entry.terms) > 0 {
 		// Credit the neighbor the response arrived through: its subtree
-		// produced results for these terms.
+		// produced results for these terms. (With trust off, forged hits
+		// reach this point and inflate the learned strategy's credit — the
+		// attack the trustsweep experiment measures.)
 		s.routingState(p.cluster).RecordHit(msg.from.cluster.id, entry.terms)
 	}
 	if entry.from == nil {
@@ -223,6 +291,14 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 		s.respMsgs++
 		s.respHops += float64(msg.hops)
 		s.noteSourceResponse(p.cluster, msg)
+		if rec := s.advRecord(msg.id); rec != nil {
+			if msg.forged {
+				rec.forged += msg.results
+				s.adv.forgedAccepted++
+			} else {
+				rec.genuine += msg.results
+			}
+		}
 		// The originating client may have been retired (promoted or moved)
 		// while its query was in flight; responses to it are then dropped.
 		if entry.origin != nil && entry.origin.alive() {
@@ -230,7 +306,7 @@ func (s *Simulator) handleResponse(p *partnerNode, msg respMsg) {
 		}
 		return
 	}
-	s.sendResponse(p, entry.from, respMsg{id: msg.id, addrs: msg.addrs, results: msg.results, hops: msg.hops})
+	s.sendResponse(p, entry.from, respMsg{id: msg.id, addrs: msg.addrs, results: msg.results, hops: msg.hops, forged: msg.forged})
 }
 
 // deliverResponseToClient forwards one Response from the source super-peer

@@ -12,6 +12,7 @@ import (
 	"spnet/internal/network"
 	"spnet/internal/routing"
 	"spnet/internal/stats"
+	"spnet/internal/trust"
 	"spnet/internal/workload"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	// independent of the simulation stream, so selecting flood reproduces
 	// the pre-strategy event sequence bit-identically.
 	Routing routing.Strategy
+	// Adversary, when non-nil, plants misbehaving super-peer partners
+	// (query-drop freeloaders, QueryHit forgers, Busy-liars) and optionally
+	// the reputation-weighted response to them. Adversary randomness draws
+	// from its own salted stream, so nil (and the zero value) leaves runs
+	// bit-identical to honest golden values.
+	Adversary *AdversaryOptions
 }
 
 // Measured is a simulation run's output: observed (not expected) loads under
@@ -92,6 +99,38 @@ type Measured struct {
 	// ClientQueriesLost counts queries clients could not submit because
 	// every partner of their cluster was down (failure injection only).
 	ClientQueriesLost int
+
+	// Adversary-mode outcome metrics (Options.Adversary only; zero
+	// otherwise). Genuine counts exclude fabricated results, so these
+	// measure real recall even when forged hits are accepted.
+
+	// QueriesRefused counts client queries a malicious partner Busy-lied
+	// away.
+	QueriesRefused int
+	// QueriesDroppedMalicious counts client queries a malicious access
+	// partner accepted and silently discarded.
+	QueriesDroppedMalicious int
+	// RelayDropsMalicious counts query copies malicious relays discarded.
+	RelayDropsMalicious int
+	// ForgedResponses counts fabricated QueryHits malicious relays sent.
+	ForgedResponses int
+	// ForgedAccepted counts forged results consumed at query sources
+	// (trust off; with trust on they are audited and dropped en route).
+	ForgedAccepted int
+	// ForgedDetected counts forged responses dropped by the audit.
+	ForgedDetected int
+	// ClientQueriesTracked is the number of client-submitted queries with
+	// outcome records; ClientQueriesUnanswered of them produced zero
+	// genuine results (the lost fraction's numerator).
+	ClientQueriesTracked    int
+	ClientQueriesUnanswered int
+	// GenuineResultsPerQuery is the mean genuine result count per client
+	// query; SpreadP50/P90/P99 are percentiles of the same per-query
+	// distribution (the iris spread metric).
+	GenuineResultsPerQuery float64
+	SpreadP50              float64
+	SpreadP90              float64
+	SpreadP99              float64
 }
 
 // counters accumulate one node's observed work. Packet-multiplex overhead is
@@ -133,6 +172,9 @@ type clientNode struct {
 	rr       int // round-robin partner selector
 	owner    int // cluster-local owner id (content mode)
 	counters counters
+	// trustBook scores the cluster's partner slots by observed reliability
+	// (adversary trust mode only; keyed by partner slot index).
+	trustBook *trust.Book
 }
 
 func (c *clientNode) alive() bool { return c.cluster != nil }
@@ -157,6 +199,11 @@ type partnerNode struct {
 	lifespan float64
 	owner    int // cluster-local owner id (content mode)
 	counters counters
+	// advID is the partner's global id in the adversary subsystem's
+	// namespace (overlay reputation books key on it); malicious marks the
+	// partner as planted by AdversaryOptions.
+	advID     int
+	malicious bool
 }
 
 func (p *partnerNode) alive() bool {
@@ -206,6 +253,10 @@ type clusterNode struct {
 	// summaryNext is the earliest virtual time the cluster may rebuild its
 	// advertised summaries again (periodic-advertisement rate limit).
 	summaryNext float64
+	// trustBook scores neighbor-cluster partners (by advID) from overlay
+	// observations: genuine responses relayed through them score good,
+	// audited forgeries score bad (adversary trust mode only).
+	trustBook *trust.Book
 }
 
 func (c *clusterNode) dissolved() bool { return len(c.partners) == 0 }
@@ -291,6 +342,9 @@ type Simulator struct {
 
 	failuresInjected  int
 	clientQueriesLost int
+
+	// adv is the adversary-mode bookkeeping (nil on honest runs).
+	adv *advState
 }
 
 // New builds a simulator from a generated instance. The instance is copied
@@ -344,6 +398,11 @@ func New(inst *network.Instance, opts Options) (*Simulator, error) {
 	}
 	if s.contentMode() {
 		if err := s.initContent(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Adversary != nil {
+		if err := s.initAdversary(); err != nil {
 			return nil, err
 		}
 	}
@@ -527,6 +586,7 @@ func (s *Simulator) measure() *Measured {
 	if s.respMsgs > 0 {
 		m.EPL = s.respHops / s.respMsgs
 	}
+	s.advMeasure(m)
 	return m
 }
 

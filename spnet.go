@@ -149,6 +149,14 @@ func EvaluateStrategy(inst *Instance, fw *RoutingForwards) *Result {
 	return analysis.EvaluateStrategy(inst, fw)
 }
 
+// EvaluateAdversarial runs the mean-value analysis with each non-source relay
+// behaving honestly only with probability honest — the analytic counterpart
+// of SimOptions.Adversary, where honest = 1 − (malicious fraction)·Drop.
+// honest = 1 is identical to Evaluate/EvaluateStrategy.
+func EvaluateAdversarial(inst *Instance, fw *RoutingForwards, honest float64) *Result {
+	return analysis.EvaluateAdversarial(inst, fw, honest)
+}
+
 // Breakdown attributes aggregate load to protocol components (query
 // transfer, query processing, response transfer, joins, updates, packet
 // multiplex); obtain one from Result.LoadBreakdown.
@@ -221,11 +229,12 @@ func Advise(s LocalState, th Thresholds) Advice { return design.Advise(s, th) }
 // SimOptions, AdaptiveOptions and Measured parameterize the discrete-event
 // message-level simulator.
 type (
-	SimOptions      = sim.Options
-	AdaptiveOptions = sim.AdaptiveOptions
-	FailureOptions  = sim.FailureOptions
-	ContentOptions  = sim.ContentOptions
-	Measured        = sim.Measured
+	SimOptions       = sim.Options
+	AdaptiveOptions  = sim.AdaptiveOptions
+	FailureOptions   = sim.FailureOptions
+	ContentOptions   = sim.ContentOptions
+	AdversaryOptions = sim.AdversaryOptions
+	Measured         = sim.Measured
 )
 
 // Library generates synthetic file titles and keyword queries over a Zipf
@@ -317,6 +326,7 @@ func RunLiveReliability(lp LiveReliabilityParams) (*ExperimentReport, error) {
 type (
 	Node                = p2p.Node
 	NodeOptions         = p2p.Options
+	MisbehaveOptions    = p2p.MisbehaveOptions
 	NodeStats           = p2p.Stats
 	NodeClient          = p2p.Client
 	SharedFile          = p2p.SharedFile
