@@ -17,55 +17,78 @@
 // Expose load telemetry (Prometheus /metrics, expvar /debug/vars, pprof):
 //
 //	spnet-node -listen 127.0.0.1:7001 -telemetry 127.0.0.1:9001
+//
+// On SIGINT or SIGTERM the node shuts down gracefully: it deregisters from
+// any attached fleet controllers (so partner promotion kicks in without
+// waiting for a death timeout), drains in-flight queries for DrainTimeout,
+// and flushes telemetry before exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"spnet"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is main's testable body: it parses args, serves until a signal arrives
+// on sigc (or on SIGINT/SIGTERM when sigc is nil), and shuts down in order —
+// node first (deregister + drain), telemetry server last.
+func run(args []string, out io.Writer, sigc <-chan os.Signal) error {
+	fs := flag.NewFlagSet("spnet-node", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		listen  = flag.String("listen", "127.0.0.1:0", "address to serve clients and peers on")
-		peers   = flag.String("peers", "", "comma-separated super-peer addresses to connect to")
-		ttl     = flag.Int("ttl", 7, "TTL stamped on queries")
-		maxCl   = flag.Int("max-clients", 100, "maximum clients (cluster size - 1)")
-		maxPeer = flag.Int("max-peers", 30, "maximum overlay neighbors (outdegree)")
-		telem   = flag.String("telemetry", "", "serve load telemetry on this address: /metrics (Prometheus), /debug/vars (expvar), /debug/pprof/")
-		query   = flag.String("query", "", "run this keyword query from the node itself, print results, and exit")
-		wait    = flag.Duration("wait", 2*time.Second, "how long to collect results for -query")
-		routing = flag.String("routing", "flood", `query-routing strategy: "flood", "randomwalk[:k]", "routingindex" or "learned"`)
-		rseed   = flag.Uint64("routing-seed", 1, "seed for randomized routing strategies")
-		verbose = flag.Bool("v", false, "log protocol diagnostics")
+		listen  = fs.String("listen", "127.0.0.1:0", "address to serve clients and peers on")
+		peers   = fs.String("peers", "", "comma-separated super-peer addresses to connect to")
+		id      = fs.String("id", "", "node identity announced to fleet controllers (e.g. sp-0-0)")
+		ttl     = fs.Int("ttl", 7, "TTL stamped on queries")
+		maxCl   = fs.Int("max-clients", 100, "maximum clients (cluster size - 1)")
+		maxPeer = fs.Int("max-peers", 30, "maximum overlay neighbors (outdegree)")
+		telem   = fs.String("telemetry", "", "serve load telemetry on this address: /metrics (Prometheus), /debug/vars (expvar), /debug/pprof/")
+		query   = fs.String("query", "", "run this keyword query from the node itself, print results, and exit")
+		wait    = fs.Duration("wait", 2*time.Second, "how long to collect results for -query")
+		routing = fs.String("routing", "flood", `query-routing strategy: "flood", "randomwalk[:k]", "routingindex" or "learned"`)
+		rseed   = fs.Uint64("routing-seed", 1, "seed for randomized routing strategies")
+		verbose = fs.Bool("v", false, "log protocol diagnostics")
 
-		trustOn    = flag.Bool("trust", false, "reputation defenses: validate QueryHits, score neighbor links (spnet_peer_reputation), trust-weighted overlay admission")
-		trustShare = flag.Float64("trust-share", 0.5, "with -trust: queue fraction reserved for overlay queries, scaled by link reputation")
-		misDrop    = flag.Float64("mis-drop", 0, "misbehave (harness only): probability of silently dropping a query")
-		misForge   = flag.Float64("mis-forge", 0, "misbehave (harness only): probability of forging a QueryHit for a relayed query")
-		misBusy    = flag.Float64("mis-busylie", 0, "misbehave (harness only): probability of Busy-refusing a client with capacity to spare")
-		misSeed    = flag.Uint64("mis-seed", 1, "seed for the misbehavior draw stream")
+		trustOn    = fs.Bool("trust", false, "reputation defenses: validate QueryHits, score neighbor links (spnet_peer_reputation), trust-weighted overlay admission")
+		trustShare = fs.Float64("trust-share", 0.5, "with -trust: queue fraction reserved for overlay queries, scaled by link reputation")
+		misDrop    = fs.Float64("mis-drop", 0, "misbehave (harness only): probability of silently dropping a query")
+		misForge   = fs.Float64("mis-forge", 0, "misbehave (harness only): probability of forging a QueryHit for a relayed query")
+		misBusy    = fs.Float64("mis-busylie", 0, "misbehave (harness only): probability of Busy-refusing a client with capacity to spare")
+		misSeed    = fs.Uint64("mis-seed", 1, "seed for the misbehavior draw stream")
 
-		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "TCP dial timeout for peer connections")
-		handTO    = flag.Duration("handshake-timeout", 10*time.Second, "hello-exchange timeout")
-		writeTO   = flag.Duration("write-timeout", 30*time.Second, "per-message write timeout")
-		hbEvery   = flag.Duration("heartbeat", 5*time.Second, "overlay heartbeat interval (0 disables)")
-		hbTimeout = flag.Duration("heartbeat-timeout", 0, "silence before a peer is declared dead (0 = 3×heartbeat)")
+		dialTO    = fs.Duration("dial-timeout", 10*time.Second, "TCP dial timeout for peer connections")
+		handTO    = fs.Duration("handshake-timeout", 10*time.Second, "hello-exchange timeout")
+		writeTO   = fs.Duration("write-timeout", 30*time.Second, "per-message write timeout")
+		hbEvery   = fs.Duration("heartbeat", 5*time.Second, "overlay heartbeat interval (0 disables)")
+		hbTimeout = fs.Duration("heartbeat-timeout", 0, "silence before a peer is declared dead (0 = 3×heartbeat)")
+		drainTO   = fs.Duration("drain-timeout", 2*time.Second, "how long shutdown waits for in-flight queries to finish")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opts := spnet.NodeOptions{
 		TTL: *ttl, MaxClients: *maxCl, MaxPeers: *maxPeer,
 		DialTimeout: *dialTO, HandshakeTimeout: *handTO, WriteTimeout: *writeTO,
 		HeartbeatInterval: *hbEvery, HeartbeatTimeout: *hbTimeout,
+		DrainTimeout: *drainTO,
 	}
 	if *hbEvery == 0 {
 		opts.HeartbeatInterval = -1 // flag 0 means off; Options treats 0 as "default"
@@ -79,7 +102,7 @@ func main() {
 	}
 	strat, err := spnet.ParseRouting(*routing)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts.Routing = strat
 	opts.RoutingSeed = *rseed
@@ -88,25 +111,39 @@ func main() {
 	}
 	node := spnet.NewNode(opts)
 	if err := node.Listen(*listen); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer node.Close()
-	fmt.Printf("super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers, routing %s)\n",
+	fmt.Fprintf(out, "super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers, routing %s)\n",
 		node.Addr(), *ttl, *maxCl, *maxPeer, strat.Name())
 
+	var srv *http.Server
 	if *telem != "" {
 		lis, err := net.Listen("tcp", *telem)
 		if err != nil {
-			log.Fatalf("telemetry listener: %v", err)
+			node.Close()
+			return fmt.Errorf("telemetry listener: %w", err)
 		}
-		srv := &http.Server{Handler: spnet.TelemetryHandler(node.Metrics().Registry())}
+		srv = &http.Server{Handler: spnet.TelemetryHandler(node.Metrics().Registry())}
 		go func() {
 			if err := srv.Serve(lis); err != http.ErrServerClosed {
 				log.Printf("telemetry server: %v", err)
 			}
 		}()
-		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics\n", lis.Addr())
+		node.SetIdentity(*id, lis.Addr().String())
+		fmt.Fprintf(out, "telemetry on http://%s/metrics\n", lis.Addr())
+	} else {
+		node.SetIdentity(*id, "")
+	}
+
+	shutdown := func() {
+		// Order matters: closing the node deregisters from controllers
+		// (RegisterBye) and drains in-flight queries up to DrainTimeout;
+		// only then is the telemetry endpoint torn down, so the final
+		// counters stay scrapeable through the drain.
+		node.Close()
+		if srv != nil {
+			srv.Close()
+		}
 	}
 
 	for _, addr := range strings.Split(*peers, ",") {
@@ -115,28 +152,37 @@ func main() {
 			continue
 		}
 		if err := node.ConnectPeer(addr); err != nil {
-			log.Fatalf("connecting to peer %s: %v", addr, err)
+			shutdown()
+			return fmt.Errorf("connecting to peer %s: %w", addr, err)
 		}
-		fmt.Printf("connected to peer %s\n", addr)
+		fmt.Fprintf(out, "connected to peer %s\n", addr)
 	}
 
 	if *query != "" {
 		results, err := node.Search(*query, *wait)
 		if err != nil {
-			log.Fatal(err)
+			shutdown()
+			return err
 		}
-		fmt.Printf("%d results for %q:\n", len(results), *query)
+		fmt.Fprintf(out, "%d results for %q:\n", len(results), *query)
 		for _, r := range results {
-			fmt.Printf("  %-40s (file %d, owner %d.%d.%d.%d:%d, %d hops)\n",
+			fmt.Fprintf(out, "  %-40s (file %d, owner %d.%d.%d.%d:%d, %d hops)\n",
 				r.Title, r.FileIndex,
 				r.OwnerIP[0], r.OwnerIP[1], r.OwnerIP[2], r.OwnerIP[3],
 				r.OwnerPort, r.Hops)
 		}
-		return
+		shutdown()
+		return nil
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("\nshutting down")
+	if sigc == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		sigc = sig
+	}
+	s := <-sigc
+	fmt.Fprintf(out, "\n%v: draining and shutting down\n", s)
+	shutdown()
+	return nil
 }

@@ -1,0 +1,310 @@
+package control
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"spnet/internal/gnutella"
+	"spnet/internal/stats"
+)
+
+// Protocol literals shared with internal/p2p's handshake.
+const (
+	helloControl = "SPNET/1.0 CONTROL"
+	helloOK      = "SPNET/1.0 OK"
+)
+
+// Backoff shapes the seeded exponential backoff every control RPC retry and
+// every link redial uses — the same discipline as the supervised client.
+type Backoff struct {
+	// Initial is the first retry delay (default 100ms).
+	Initial time.Duration
+	// Max caps the delay (default 2s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the ± fraction of random spread (default 0.2; negative
+	// disables jitter entirely, for deterministic schedules).
+	Jitter float64
+}
+
+func (b *Backoff) setDefaults() {
+	if b.Initial <= 0 {
+		b.Initial = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0
+	}
+}
+
+// delay computes the attempt'th backoff delay (0-based; attempt 0 waits
+// Initial) with seeded jitter.
+func (b Backoff) delay(attempt int, rng *stats.RNG) time.Duration {
+	d := float64(b.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// agent maintains the control link to one node: dial with seeded backoff,
+// handshake, read the node's Register announcement, then pump acks and
+// re-registrations until the link dies — and start over. One goroutine per
+// node for the life of the controller.
+type agent struct {
+	ctrl *Controller
+	cfg  NodeConfig
+	rng  *stats.RNG
+
+	mu   sync.Mutex
+	conn net.Conn // nil while the link is down
+	// pending routes DirectiveAcks to waiting push calls, keyed by epoch.
+	pending map[uint64]chan *gnutella.DirectiveAck
+	// registers counts Register frames since the decision loop last looked —
+	// the re-registration-storm detector's input.
+	registers int
+	// bye records a graceful deregistration (node drained, not crashed).
+	bye bool
+	up  bool
+}
+
+func newAgent(c *Controller, cfg NodeConfig, rng *stats.RNG) *agent {
+	return &agent{
+		ctrl:    c,
+		cfg:     cfg,
+		rng:     rng,
+		pending: make(map[uint64]chan *gnutella.DirectiveAck),
+	}
+}
+
+// run is the agent's connection-supervision loop.
+func (a *agent) run() {
+	defer a.ctrl.wg.Done()
+	attempt := 0
+	for {
+		select {
+		case <-a.ctrl.stop:
+			return
+		default:
+		}
+		conn, err := a.dial()
+		if err != nil {
+			d := a.ctrl.opts.Backoff.delay(attempt, a.rng)
+			attempt++
+			select {
+			case <-a.ctrl.stop:
+				return
+			case <-time.After(d):
+			}
+			continue
+		}
+		attempt = 0
+		a.setConn(conn)
+		a.readLoop(conn)
+		a.setConn(nil)
+		conn.Close()
+		// Brief seeded pause before redialing, so a dead node is probed at
+		// backoff pace rather than in a tight loop.
+		select {
+		case <-a.ctrl.stop:
+			return
+		case <-time.After(a.ctrl.opts.Backoff.delay(0, a.rng)):
+		}
+	}
+}
+
+// dial opens and handshakes the control link.
+func (a *agent) dial() (net.Conn, error) {
+	c, err := a.ctrl.opts.Dial("tcp", a.cfg.Addr, a.ctrl.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(c, "%s\n", helloControl); err != nil {
+		c.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(a.ctrl.opts.DialTimeout))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if strings.TrimSpace(line) != helloOK {
+		c.Close()
+		return nil, fmt.Errorf("control: node %s refused: %s", a.cfg.ID, strings.TrimSpace(line))
+	}
+	c.SetReadDeadline(time.Time{})
+	return &bufferedConn{Conn: c, br: br}, nil
+}
+
+// bufferedConn keeps the handshake reader's buffered bytes attached to the
+// connection for the frame reader.
+type bufferedConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.br.Read(p) }
+
+// setConn publishes or clears the live link.
+func (a *agent) setConn(c net.Conn) {
+	a.mu.Lock()
+	a.conn = c
+	a.up = c != nil
+	if c != nil {
+		a.bye = false
+	}
+	a.mu.Unlock()
+	if c == nil {
+		a.ctrl.event(Event{Type: EvLinkDown, Node: a.cfg.ID})
+	}
+}
+
+// linkUp reports whether the control link is currently connected.
+func (a *agent) linkUp() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.up
+}
+
+// readLoop pumps the link's inbound frames until it errors.
+func (a *agent) readLoop(conn net.Conn) {
+	for {
+		m, err := gnutella.ReadMessageLimit(conn, 1<<16)
+		if err != nil {
+			return
+		}
+		switch msg := m.(type) {
+		case *gnutella.Register:
+			a.handleRegister(msg)
+		case *gnutella.DirectiveAck:
+			a.mu.Lock()
+			ch := a.pending[msg.Epoch]
+			a.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- msg:
+				default:
+				}
+			}
+		case *gnutella.Pong:
+			// Liveness only.
+		default:
+			a.ctrl.opts.Logf("control: unexpected %T from %s", m, a.cfg.ID)
+			return
+		}
+	}
+}
+
+// handleRegister ingests a node announcement: adopt its epoch watermark (the
+// restart-recovery path — a fresh controller learns the fleet's highest
+// applied epoch from these), count it for storm detection, and record byes.
+func (a *agent) handleRegister(r *gnutella.Register) {
+	a.ctrl.adoptEpoch(r.Epoch)
+	a.mu.Lock()
+	a.registers++
+	if r.Flags == gnutella.RegisterBye {
+		a.bye = true
+	}
+	a.mu.Unlock()
+	if r.Flags == gnutella.RegisterBye {
+		a.ctrl.event(Event{Type: EvDeregistered, Node: a.cfg.ID, Epoch: r.Epoch})
+	} else {
+		a.ctrl.event(Event{Type: EvRegistered, Node: a.cfg.ID, Epoch: r.Epoch})
+	}
+}
+
+// takeRegisters returns and resets the register count, and whether a bye was
+// seen, for the decision loop's storm/drain detection.
+func (a *agent) takeRegisters() (n int, bye bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n, bye = a.registers, a.bye
+	a.registers = 0
+	return n, bye
+}
+
+// push sends one directive and waits for its ack, retrying with seeded
+// backoff. An Applied=0 (stale) ack still counts as success: the node already
+// holds an equal or newer configuration, which is exactly what idempotent
+// delivery promises. Fails fast when the link is down — a partitioned
+// controller must not block its decision loop on dead RPCs.
+func (a *agent) push(d *gnutella.Directive) error {
+	var lastErr error
+	for attempt := 0; attempt < a.ctrl.opts.PushAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-a.ctrl.stop:
+				return fmt.Errorf("control: shutting down")
+			case <-time.After(a.ctrl.opts.Backoff.delay(attempt-1, a.rng)):
+			}
+		}
+		ack, err := a.pushOnce(d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		applied := ack.Applied == 1
+		a.ctrl.event(Event{Type: EvAcked, Node: a.cfg.ID, Epoch: d.Epoch,
+			Detail: fmt.Sprintf("%s applied=%v", d.Action, applied)})
+		return nil
+	}
+	return lastErr
+}
+
+func (a *agent) pushOnce(d *gnutella.Directive) (*gnutella.DirectiveAck, error) {
+	a.mu.Lock()
+	conn := a.conn
+	if conn == nil {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("control: link to %s down", a.cfg.ID)
+	}
+	ch := make(chan *gnutella.DirectiveAck, 1)
+	a.pending[d.Epoch] = ch
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.pending, d.Epoch)
+		a.mu.Unlock()
+	}()
+
+	conn.SetWriteDeadline(time.Now().Add(a.ctrl.opts.RPCTimeout))
+	if err := gnutella.WriteMessage(conn, d); err != nil {
+		conn.Close() // poison the link; run() redials
+		return nil, err
+	}
+	select {
+	case ack := <-ch:
+		return ack, nil
+	case <-time.After(a.ctrl.opts.RPCTimeout):
+		// A silent link (blackholed by a partition, or a wedged node) must
+		// not keep looking healthy: poison it so run() goes through a full
+		// redial, and later decisions fail fast on a down link instead of
+		// burning an RPC timeout each.
+		conn.Close()
+		return nil, fmt.Errorf("control: ack timeout from %s (epoch %d)", a.cfg.ID, d.Epoch)
+	case <-a.ctrl.stop:
+		return nil, fmt.Errorf("control: shutting down")
+	}
+}

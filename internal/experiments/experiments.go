@@ -161,6 +161,7 @@ var registry = []definition{
 	{"loadvalidation", "Validation: analytical vs simulated vs live-measured super-peer load", runLoadValidationDefault},
 	{"routingcompare", "Extension: query-routing strategies — bandwidth saved vs recall lost, three ways", runRoutingCompareDefault},
 	{"trustsweep", "Extension: adversarial peers vs reputation-weighted selection — lost queries, three ways", runTrustSweepDefault},
+	{"selfheal", "Extension: self-healing fleet control plane — Section 5.3 decisions pushed to live nodes", runSelfHealDefault},
 }
 
 // IDs lists the registered experiment ids in order.

@@ -28,6 +28,12 @@ func seedMessages(t testing.TB) []Message {
 		},
 		&Join{ID: GUID{7}, Files: []MetadataRecord{{FileIndex: 1, FileSize: 2, Title: "a.mp3"}}},
 		&Update{ID: GUID{8}, Op: OpInsert, File: MetadataRecord{FileIndex: 3, Title: "b.mp3"}},
+		&Summary{ID: GUID{9}, TTL: 1, Terms: []string{"free", "jazz"}},
+		&Register{ID: GUID{10}, Flags: RegisterHello, Epoch: 42,
+			NodeID: "sp-0-1", Addr: "127.0.0.1:7001", Telemetry: "127.0.0.1:9001"},
+		&Directive{ID: GUID{11}, Epoch: 43, Action: ActionPromotePartner,
+			MaxClients: 200, Target: "127.0.0.1:7002"},
+		&DirectiveAck{ID: GUID{12}, Epoch: 43, Applied: 1, NodeID: "sp-0-1"},
 	}
 }
 

@@ -18,7 +18,7 @@ func LoadClass(t MsgType) metrics.Class {
 		return metrics.ClassBusy
 	case TypePing, TypePong:
 		return metrics.ClassPing
-	case TypeSummary:
+	case TypeSummary, TypeRegister, TypeDirective, TypeDirectiveAck:
 		return metrics.ClassOther
 	}
 	return metrics.ClassOther
@@ -39,7 +39,7 @@ func MessageClass(m Message) metrics.Class {
 		return metrics.ClassBusy
 	case *Ping, *Pong:
 		return metrics.ClassPing
-	case *Summary:
+	case *Summary, *Register, *Directive, *DirectiveAck:
 		return metrics.ClassOther
 	}
 	return metrics.ClassOther

@@ -22,6 +22,9 @@ var (
 	_ Message = (*Join)(nil)
 	_ Message = (*Update)(nil)
 	_ Message = (*Summary)(nil)
+	_ Message = (*Register)(nil)
+	_ Message = (*Directive)(nil)
+	_ Message = (*DirectiveAck)(nil)
 )
 
 // MaxPayloadLen is the hard upper bound on accepted payloads, protecting
@@ -63,6 +66,21 @@ func WriteMessage(w io.Writer, m Message) error {
 			return err
 		}
 	case *Summary:
+		buf, err = msg.Encode()
+		if err != nil {
+			return err
+		}
+	case *Register:
+		buf, err = msg.Encode()
+		if err != nil {
+			return err
+		}
+	case *Directive:
+		buf, err = msg.Encode()
+		if err != nil {
+			return err
+		}
+	case *DirectiveAck:
 		buf, err = msg.Encode()
 		if err != nil {
 			return err
@@ -129,6 +147,12 @@ func ReadMessageLimit(r io.Reader, maxPayload uint32) (Message, error) {
 		return DecodeUpdate(buf)
 	case TypeSummary:
 		return DecodeSummary(buf)
+	case TypeRegister:
+		return DecodeRegister(buf)
+	case TypeDirective:
+		return DecodeDirective(buf)
+	case TypeDirectiveAck:
+		return DecodeDirectiveAck(buf)
 	}
 	return nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrBadMessage, byte(h.Type))
 }

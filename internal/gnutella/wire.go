@@ -41,6 +41,12 @@ func (t MsgType) String() string {
 		return "Busy"
 	case TypeSummary:
 		return "Summary"
+	case TypeRegister:
+		return "Register"
+	case TypeDirective:
+		return "Directive"
+	case TypeDirectiveAck:
+		return "DirectiveAck"
 	}
 	return fmt.Sprintf("MsgType(0x%02x)", byte(t))
 }

@@ -137,6 +137,10 @@ const (
 	// each neighbor super-peer link, labeled by peer id. Registered per link
 	// when trust-aware mode is on.
 	MetricPeerReputation = "spnet_peer_reputation"
+	// MetricControlDirectives counts control-plane directives received from a
+	// fleet controller, labeled by result: "applied" or "stale" (epoch at or
+	// below the last applied one — the idempotent reject).
+	MetricControlDirectives = "spnet_control_directives_total"
 )
 
 // LoadMeter attributes messages and bytes to the load taxonomy. It is the
@@ -273,6 +277,10 @@ type NodeMetrics struct {
 	// It carries the routing strategy as a label, so it is registered by
 	// InitForwarded once the strategy is known, and is nil until then.
 	QueriesForwarded *Counter
+	// DirectivesApplied / DirectivesStale count control-plane directives by
+	// outcome: applied, or rejected as stale by the epoch idempotency rule.
+	DirectivesApplied *Counter
+	DirectivesStale   *Counter
 }
 
 // NewNodeMetrics builds a node metric set on a fresh registry.
@@ -299,6 +307,10 @@ func NewNodeMetrics() *NodeMetrics {
 	nm.HitsForged = r.Counter(MetricHitsDropped, "QueryHits refused relay, by reason.",
 		Label{"reason", "forged"})
 	nm.QueryService = r.Histogram(MetricQueryService, "Query service time in seconds.", DefLatencyBuckets)
+	nm.DirectivesApplied = r.Counter(MetricControlDirectives, "Control-plane directives by outcome.",
+		Label{"result", "applied"})
+	nm.DirectivesStale = r.Counter(MetricControlDirectives, "Control-plane directives by outcome.",
+		Label{"result", "stale"})
 	return nm
 }
 

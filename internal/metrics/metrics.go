@@ -14,6 +14,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -308,9 +309,17 @@ func (r *Registry) WriteVars(w io.Writer) error {
 	return err
 }
 
+// ErrBadExposition is wrapped by every parse error ParsePrometheus returns
+// for malformed input (as opposed to an I/O error from the reader), so
+// scrapers can distinguish a corrupt payload from a broken transport with
+// errors.Is.
+var ErrBadExposition = errors.New("metrics: bad exposition format")
+
 // ParsePrometheus parses text exposition format (as produced by
 // WritePrometheus) into a map keyed by SeriesKey — series name plus its
 // label set sorted by label name. Comment and blank lines are skipped.
+// Malformed input yields an error wrapping ErrBadExposition; it never
+// panics, whatever the bytes.
 func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -324,12 +333,12 @@ func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp < 0 {
-			return nil, fmt.Errorf("metrics: malformed exposition line %q", line)
+			return nil, fmt.Errorf("%w: malformed line %q", ErrBadExposition, line)
 		}
 		key, valStr := line[:sp], line[sp+1:]
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			return nil, fmt.Errorf("metrics: bad value in %q: %v", line, err)
+			return nil, fmt.Errorf("%w: bad value in %q: %v", ErrBadExposition, line, err)
 		}
 		canon, err := canonicalSeriesKey(key)
 		if err != nil {
@@ -347,14 +356,18 @@ func canonicalSeriesKey(key string) (string, error) {
 		return key, nil
 	}
 	if !strings.HasSuffix(key, "}") {
-		return "", fmt.Errorf("metrics: malformed series %q", key)
+		return "", fmt.Errorf("%w: malformed series %q", ErrBadExposition, key)
 	}
 	name, body := key[:open], key[open+1:len(key)-1]
+	if name == "" {
+		// "{} 0" would canonicalize to an empty, unrepresentable key.
+		return "", fmt.Errorf("%w: series %q has no metric name", ErrBadExposition, key)
+	}
 	var labels []Label
 	for body != "" {
 		eq := strings.IndexByte(body, '=')
 		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
-			return "", fmt.Errorf("metrics: malformed labels in %q", key)
+			return "", fmt.Errorf("%w: malformed labels in %q", ErrBadExposition, key)
 		}
 		lname := body[:eq]
 		rest := body[eq+2:]
@@ -377,7 +390,7 @@ func canonicalSeriesKey(key string) (string, error) {
 			val.WriteByte(rest[i])
 		}
 		if i >= len(rest) {
-			return "", fmt.Errorf("metrics: unterminated label value in %q", key)
+			return "", fmt.Errorf("%w: unterminated label value in %q", ErrBadExposition, key)
 		}
 		labels = append(labels, Label{lname, val.String()})
 		body = rest[i+1:]

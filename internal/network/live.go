@@ -104,6 +104,7 @@ func (l *Live) Launch() error {
 				l.closeLocked()
 				return err
 			}
+			ln.node.SetIdentity(label(c, p), ln.telAddr)
 		}
 	}
 	for c := range l.nodes {
@@ -312,8 +313,25 @@ func (l *Live) RestartSuperPeer(cluster, partner int) error {
 		n.Close()
 		return err
 	}
+	n.SetIdentity(label(cluster, partner), ln.telAddr)
 	return l.reconnectLocked(cluster, partner, n)
 }
+
+// ControllerLabel is the fault-controller label of the fleet controller's
+// vantage point. Route a control.Controller's Options.Dial through
+// Faults().Dialer(ControllerLabel) (internal/control cannot be imported here
+// without a cycle — the experiment layer assembles the Options from
+// SuperPeers()), and controller partitions become scriptable like any other
+// fault.
+const ControllerLabel = "controller"
+
+// PartitionController cuts the fleet controller off from every node: its
+// control links blackhole and its scrapes fail, while the overlay itself
+// keeps running — the control plane's graceful-degradation drill.
+func (l *Live) PartitionController() { l.ctrl.Isolate(ControllerLabel) }
+
+// HealController reverses PartitionController.
+func (l *Live) HealController() { l.ctrl.Restore(ControllerLabel) }
 
 // PartitionCluster cuts every partner of a cluster off the network: their
 // traffic blackholes until HealCluster. Connections stay up, so this models

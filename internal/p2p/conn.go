@@ -23,7 +23,10 @@ type conn struct {
 	br       *bufio.Reader
 	wmu      sync.Mutex
 	isClient bool
-	owner    int // client owner id; -1 for peers
+	// isControl marks a fleet-controller link: outside the client/peer
+	// capacity budgets and outside the query path entirely.
+	isControl bool
+	owner     int // client owner id; -1 for peers
 	// peerID is the link's stable id in the routing strategy's neighbor
 	// namespace; assigned under Node.mu when the peer link registers.
 	peerID int

@@ -32,10 +32,11 @@ import (
 
 // Protocol handshake lines.
 const (
-	helloClient = "SPNET/1.0 CLIENT"
-	helloPeer   = "SPNET/1.0 PEER"
-	helloOK     = "SPNET/1.0 OK"
-	helloBusy   = "SPNET/1.0 BUSY"
+	helloClient  = "SPNET/1.0 CLIENT"
+	helloPeer    = "SPNET/1.0 PEER"
+	helloControl = "SPNET/1.0 CONTROL"
+	helloOK      = "SPNET/1.0 OK"
+	helloBusy    = "SPNET/1.0 BUSY"
 )
 
 // Options configure a Node. The zero value is usable.
@@ -264,6 +265,16 @@ type Node struct {
 	// exposed over HTTP via metrics.Handler(node.Metrics().Registry()).
 	metrics *metrics.NodeMetrics
 
+	// Control-plane state (guarded by mu). nodeID and telemetryAddr identify
+	// this node to a fleet controller (SetIdentity); ctlEpoch is the highest
+	// directive epoch applied — the idempotency watermark every Register
+	// announces and every Directive is checked against. ctlConns tracks open
+	// control links so Close can send a deregistration bye.
+	nodeID        string
+	telemetryAddr string
+	ctlEpoch      uint64
+	ctlConns      map[*conn]struct{}
+
 	// book scores each peer link's reliability from observed behavior
 	// (genuine hits vs forged/unsolicited ones vs Busy refusals); nil unless
 	// Options.Trust. peerQueued counts overlay queries queued or executing,
@@ -288,17 +299,18 @@ type queryTask struct {
 func NewNode(opts Options) *Node {
 	opts.setDefaults()
 	n := &Node{
-		opts:    opts,
-		index:   index.New(),
-		clients: make(map[int]*conn),
-		guids:   make(map[int]gnutella.GUID),
-		peers:   make(map[*conn]struct{}),
-		conns:   make(map[*conn]struct{}),
-		routes:  make(map[gnutella.GUID]*routeEntry),
-		queue:   make(chan queryTask, opts.QueueDepth),
-		metrics: metrics.NewNodeMetrics(),
-		mis:     newMisbehaveState(opts.Misbehave),
-		stop:    make(chan struct{}),
+		opts:     opts,
+		index:    index.New(),
+		clients:  make(map[int]*conn),
+		guids:    make(map[int]gnutella.GUID),
+		peers:    make(map[*conn]struct{}),
+		conns:    make(map[*conn]struct{}),
+		routes:   make(map[gnutella.GUID]*routeEntry),
+		ctlConns: make(map[*conn]struct{}),
+		queue:    make(chan queryTask, opts.QueueDepth),
+		metrics:  metrics.NewNodeMetrics(),
+		mis:      newMisbehaveState(opts.Misbehave),
+		stop:     make(chan struct{}),
 	}
 	if opts.Trust {
 		n.book = trust.NewBook()
@@ -388,6 +400,7 @@ func (n *Node) Close() error {
 			n.opts.Logf("p2p: drain timeout %v elapsed with queries pending", n.opts.DrainTimeout)
 		}
 	}
+	n.deregisterFromControllers(conns)
 	for _, c := range conns {
 		c.c.Close()
 	}
@@ -514,6 +527,17 @@ func (n *Node) serve(c net.Conn) {
 		fmt.Fprintf(c, "%s\n", helloOK)
 		defer n.unregister(cc)
 		n.runPeer(cc)
+	case helloControl:
+		cc := newConn(n, c, br, false)
+		cc.isControl = true
+		if !n.registerControl(cc) {
+			fmt.Fprintf(c, "%s\n", helloBusy)
+			c.Close()
+			return
+		}
+		fmt.Fprintf(c, "%s\n", helloOK)
+		defer n.unregister(cc)
+		n.runControl(cc)
 	default:
 		n.opts.Logf("p2p: rejecting unknown hello %q from %s", hello, c.RemoteAddr())
 		c.Close()
@@ -550,9 +574,12 @@ func (n *Node) unregister(c *conn) {
 	n.mu.Lock()
 	if _, ok := n.conns[c]; ok {
 		delete(n.conns, c)
-		if c.isClient {
+		switch {
+		case c.isControl:
+			delete(n.ctlConns, c)
+		case c.isClient:
 			n.nClients--
-		} else {
+		default:
 			n.nPeers--
 		}
 		n.metrics.ConnsOpen.Dec()

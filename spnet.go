@@ -43,6 +43,7 @@ import (
 
 	"spnet/internal/analysis"
 	"spnet/internal/content"
+	"spnet/internal/control"
 	"spnet/internal/design"
 	"spnet/internal/experiments"
 	"spnet/internal/faults"
@@ -426,6 +427,64 @@ type (
 // /debug/pprof/. spnet-node's -telemetry flag and LiveConfig.Telemetry use
 // this same handler.
 func TelemetryHandler(reg *MetricsRegistry) http.Handler { return metrics.Handler(reg) }
+
+// Fleet control plane: a FleetController scrapes every super-peer's
+// telemetry, watches their control links, and pushes the Section 5.3 local
+// decision rules to live nodes as epoch-versioned idempotent directives —
+// partner promotion on death or re-registration storms, cluster split on
+// sustained overload, coalesce on underload, TTL decay under bandwidth
+// pressure. Nodes keep serving on their last-applied configuration whenever
+// the controller is unreachable, and a restarted controller rebuilds its
+// epoch watermark from the fleet's Register announcements.
+type (
+	FleetController     = control.Controller
+	FleetOptions        = control.Options
+	FleetNodeConfig     = control.NodeConfig
+	FleetEvent          = control.Event
+	FleetEventType      = control.EventType
+	FleetNodeStatus     = control.NodeStatus
+	FleetControlBackoff = control.Backoff
+)
+
+// Fleet controller events, in rough lifecycle order.
+const (
+	FleetRegistered   = control.EvRegistered
+	FleetDeregistered = control.EvDeregistered
+	FleetLinkDown     = control.EvLinkDown
+	FleetScrapeFailed = control.EvScrapeFailed
+	FleetDead         = control.EvDead
+	FleetRecovered    = control.EvRecovered
+	FleetPushed       = control.EvPushed
+	FleetAcked        = control.EvAcked
+	FleetPushFailed   = control.EvPushFailed
+	FleetHotspot      = control.EvHotspot
+	FleetUnderload    = control.EvUnderload
+)
+
+// NewFleetController builds a controller over the given fleet; call Start to
+// launch its control links and decision loop, Close to stop it.
+func NewFleetController(opts FleetOptions) *FleetController { return control.New(opts) }
+
+// FleetPredictedLoad folds an analytical per-class bandwidth prediction
+// (Result.SuperPeerClassBps) into the load-limit form FleetOptions.Limit
+// expects, scaled by headroom.
+func FleetPredictedLoad(b LoadByClass, headroom float64) Load {
+	return control.PredictedLoad(b, headroom)
+}
+
+// SelfHealParams shape RunSelfHeal: a live fleet loses a loaded super-peer
+// mid-run, once with the fleet controller watching and once without, and the
+// lost-query fraction quantifies what the pushed Section 5.3 rules buy.
+type SelfHealParams = experiments.SelfHealParams
+
+// SelfHealResult carries the raw self-healing measurements.
+type SelfHealResult = experiments.SelfHealResult
+
+// RunSelfHeal runs the self-healing experiment and renders the comparison
+// table (controller off vs on vs the sim-adaptive baseline).
+func RunSelfHeal(p SelfHealParams) (*ExperimentReport, error) {
+	return experiments.RunSelfHeal(p)
+}
 
 // LoadValidationParams shape RunLoadValidation, the model-vs-measured
 // validation experiment.
