@@ -9,6 +9,11 @@
 // Example — a 2-redundant network with a denser overlay:
 //
 //	spnet-eval -size 20000 -cluster 20 -redundancy -outdeg 10 -ttl 4 -trials 5
+//
+// Example — additionally price a 64 MiB multi-source download with the
+// content-transfer extension (wire bytes, efficiency, throughput bound):
+//
+//	spnet-eval -transfer-size 67108864 -transfer-sources 3 -transfer-rate 262144
 package main
 
 import (
@@ -32,6 +37,11 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "evaluation workers (0 = all cores, 1 = serial); output is identical at any setting")
 		lowQuery   = flag.Bool("low-query-rate", false, "use the Appendix C tenfold-lower query rate")
+
+		xferSize    = flag.Int64("transfer-size", 0, "also price a content download of this many bytes (0 = off)")
+		xferChunk   = flag.Int("transfer-chunk", 64<<10, "chunk size for -transfer-size")
+		xferSources = flag.Int("transfer-sources", 3, "parallel sources for -transfer-size")
+		xferRate    = flag.Float64("transfer-rate", 256<<10, "per-source serving rate in bytes/sec for -transfer-size (0 = unpaced)")
 	)
 	flag.Parse()
 
@@ -79,4 +89,34 @@ func main() {
 	fmt.Printf("expected path length:      %v\n", sum.EPL)
 	fmt.Printf("reach:                     %v clusters, %v peers\n",
 		sum.ReachClusters, sum.ReachPeers)
+
+	if *xferSize > 0 {
+		p, err := spnet.PredictTransfer(spnet.TransferWorkload{
+			FileSize:      *xferSize,
+			ChunkSize:     *xferChunk,
+			Sources:       *xferSources,
+			SourceRateBps: *xferRate,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncontent transfer (extension): %d bytes, %d-byte chunks, %d sources\n",
+			*xferSize, *xferChunk, *xferSources)
+		fmt.Printf("%-26s %-22s %-22s %-22s\n",
+			"", "transfer bw (bps)", "wire bytes", "efficiency")
+		if p.ThroughputBps > 0 {
+			row("per download", [3]string{
+				fmt.Sprintf("%.0f", p.ThroughputBps),
+				fmt.Sprintf("%d", p.WireBytes),
+				fmt.Sprintf("%.4f", p.Efficiency)})
+			fmt.Printf("predicted duration:        %.2fs over %d chunks\n",
+				p.DurationSec, p.Chunks)
+		} else {
+			row("per download (unpaced)", [3]string{
+				"-",
+				fmt.Sprintf("%d", p.WireBytes),
+				fmt.Sprintf("%.4f", p.Efficiency)})
+		}
+	}
 }

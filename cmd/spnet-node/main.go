@@ -14,6 +14,13 @@
 //	spnet-node -listen 127.0.0.1:7004 -peers 127.0.0.1:7001 \
 //	           -query "free jazz" -wait 2s
 //
+// Serve downloadable content (the chunked transfer plane) — every node
+// started with the same content flags serves identical bytes, so a fetcher
+// can download from several of them in parallel:
+//
+//	spnet-node -listen 127.0.0.1:7001 -serve-content -content-files 16 \
+//	           -transfer-rate 262144
+//
 // Expose load telemetry (Prometheus /metrics, expvar /debug/vars, pprof):
 //
 //	spnet-node -listen 127.0.0.1:7001 -telemetry 127.0.0.1:9001
@@ -66,6 +73,13 @@ func run(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		rseed   = fs.Uint64("routing-seed", 1, "seed for randomized routing strategies")
 		verbose = fs.Bool("v", false, "log protocol diagnostics")
 
+		serveContent = fs.Bool("serve-content", false, "serve downloadable content: seed a deterministic store and answer chunk requests")
+		contentFiles = fs.Int("content-files", 8, "with -serve-content: number of titles sampled into the store")
+		contentSeed  = fs.Uint64("content-seed", 1, "with -serve-content: seed for title sampling (same seed + flags = same store on every node)")
+		contentChunk = fs.Int("content-chunk", 0, "with -serve-content: chunk size in bytes (0 = default)")
+		maxTransfers = fs.Int("max-transfers", 0, "with -serve-content: concurrent transfer links served (0 = default)")
+		transferRate = fs.Float64("transfer-rate", 0, "with -serve-content: aggregate served content bytes/sec (0 = unpaced)")
+
 		trustOn    = fs.Bool("trust", false, "reputation defenses: validate QueryHits, score neighbor links (spnet_peer_reputation), trust-weighted overlay admission")
 		trustShare = fs.Float64("trust-share", 0.5, "with -trust: queue fraction reserved for overlay queries, scaled by link reputation")
 		misDrop    = fs.Float64("mis-drop", 0, "misbehave (harness only): probability of silently dropping a query")
@@ -100,6 +114,14 @@ func run(args []string, out io.Writer, sigc <-chan os.Signal) error {
 			Drop: *misDrop, Forge: *misForge, BusyLie: *misBusy, Seed: *misSeed,
 		}
 	}
+	var store *spnet.TransferStore
+	if *serveContent {
+		store = spnet.NewTransferStore(spnet.TransferStoreOptions{ChunkSize: *contentChunk})
+		store.AddSampled(spnet.DefaultLibrary(), *contentFiles, *contentSeed)
+		opts.Content = store
+		opts.MaxTransfers = *maxTransfers
+		opts.TransferRate = *transferRate
+	}
 	strat, err := spnet.ParseRouting(*routing)
 	if err != nil {
 		return err
@@ -115,6 +137,18 @@ func run(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	}
 	fmt.Fprintf(out, "super-peer listening on %s (TTL %d, ≤%d clients, ≤%d peers, routing %s)\n",
 		node.Addr(), *ttl, *maxCl, *maxPeer, strat.Name())
+	if store != nil {
+		var total int64
+		for _, f := range store.Files() {
+			total += f.Size
+		}
+		rate := "unpaced"
+		if *transferRate > 0 {
+			rate = fmt.Sprintf("%.0f B/s", *transferRate)
+		}
+		fmt.Fprintf(out, "serving content: %d titles, %d bytes, chunk %d B, %s\n",
+			len(store.Files()), total, store.ChunkSize(), rate)
+	}
 
 	var srv *http.Server
 	if *telem != "" {

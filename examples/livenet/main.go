@@ -5,11 +5,17 @@
 // the reverse path, exactly the protocol of the paper's Section 3, on the
 // wire format its cost model prices.
 //
-// Act two turns on churn: a k-redundant deployment (paper Section 3.2) where
-// a client's super-peer is killed mid-search. The supervised client backs
-// off, fails over to the redundant partner, re-joins automatically, and its
-// next search succeeds — with the recovery time measured and compared to the
-// recovery the reliability experiment assumes.
+// Act two follows a query hit into the content transfer plane: two of the
+// super-peers serve an identical content store, a search surfaces both as
+// download sources, and Fetch pulls the file from both in parallel —
+// chunked, hash-verified against the manifest, and priced as its own load
+// class.
+//
+// Act three turns on churn: a k-redundant deployment (paper Section 3.2)
+// where a client's super-peer is killed mid-search. The supervised client
+// backs off, fails over to the redundant partner, re-joins automatically, and
+// its next search succeeds — with the recovery time measured and compared to
+// the recovery the reliability experiment assumes.
 package main
 
 import (
@@ -24,9 +30,19 @@ func main() {
 	// Five super-peers in a ring with one chord — every node within TTL
 	// reach of every other.
 	const clusters = 5
+	// Super-peers 1 and 3 also serve content: the same store on both means a
+	// later download can fetch from the two of them in parallel.
+	store := spnet.NewTransferStore(spnet.TransferStoreOptions{
+		ChunkSize: 16 << 10, MinFileSize: 128 << 10, MaxFileSize: 256 << 10,
+	})
+	store.Add(fetchTitle)
 	nodes := make([]*spnet.Node, clusters)
 	for i := range nodes {
-		nodes[i] = spnet.NewNode(spnet.NodeOptions{TTL: 4})
+		opts := spnet.NodeOptions{TTL: 4}
+		if i == 1 || i == 3 {
+			opts.Content = store
+		}
+		nodes[i] = spnet.NewNode(opts)
 		if err := nodes[i].Listen("127.0.0.1:0"); err != nil {
 			log.Fatal(err)
 		}
@@ -59,8 +75,8 @@ func main() {
 		defer cl.Close()
 		clients[i] = cl
 	}
-	// Let the joins land.
-	waitIndexed(nodes, 8)
+	// Let the joins land: 8 client files plus the store title on 1 and 3.
+	waitIndexed(nodes, 10)
 	total := 0
 	for i, n := range nodes {
 		s := n.Stats()
@@ -93,11 +109,43 @@ func main() {
 	search(4, "blue")
 
 	fmt.Println()
+	fetchDemo(clients[4])
+
+	fmt.Println()
 	churnDemo()
 }
 
-// churnDemo is act two: kill a client's super-peer mid-search and watch the
-// k-redundancy failover recover.
+// fetchTitle is the store-served file act two revolves around. The index
+// normalizes titles to lowercase, and TransferSourcesFor matches the exact
+// title a QueryHit carries, so the stored title is lowercase too.
+const fetchTitle = "archival concert master reel"
+
+// fetchDemo is act two: the QueryHits a search returns become download
+// sources, and Fetch pulls the file from every advertising super-peer in
+// parallel with per-chunk hash verification.
+func fetchDemo(cl *spnet.NodeClient) {
+	fmt.Println("--- fetch: a query hit becomes a chunked multi-source download ---")
+	results, err := cl.Search("reel", 600*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := spnet.TransferSourcesFor(results, fetchTitle)
+	fmt.Printf("%d hits advertise %q; fetching from all of them\n", len(sources), fetchTitle)
+	res, err := spnet.Fetch(sources, spnet.TransferOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "hash verified"
+	if res.Hash != spnet.TransferContentHash(fetchTitle, res.Size) {
+		status = "HASH MISMATCH"
+	}
+	fmt.Printf("downloaded %d bytes in %d chunks from %d sources in %v (%.0f B/s, %s)\n",
+		res.Size, res.Chunks, len(res.Sources), res.Elapsed.Round(time.Millisecond),
+		res.ThroughputBps, status)
+}
+
+// churnDemo is act three: kill a client's super-peer mid-search and watch
+// the k-redundancy failover recover.
 func churnDemo() {
 	fmt.Println("--- churn: killing a super-peer mid-search ---")
 	lv := spnet.NewLiveNetwork(spnet.LiveConfig{Clusters: 2, Partners: 2, Seed: 42})

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+
+	"spnet/internal/gnutella"
+	"spnet/internal/transfer"
+)
+
+// TransferWorkload describes one multi-source download for prediction: the
+// file being fetched, the chunking it is served under, and the source fleet's
+// capacity. It is the transfer-plane analogue of the query workload the rest
+// of this package evaluates.
+type TransferWorkload struct {
+	// FileSize is the file's size in bytes.
+	FileSize int64
+	// ChunkSize is the serving chunk width in bytes.
+	ChunkSize int
+	// Sources is the number of distinct sources the download draws from.
+	Sources int
+	// SourceRateBps is each source's content-byte service rate in bytes/sec
+	// (the server-side transfer-rate cap). 0 means unpaced sources, for
+	// which no duration or throughput prediction is made.
+	SourceRateBps float64
+}
+
+// TransferPrediction is the analytical expectation for one download: total
+// wire traffic from the chunk protocol's framing, the protocol efficiency,
+// and — for rate-capped sources — the steady-state throughput and duration.
+//
+// The throughput model is deliberately simple: a window-pipelined downloader
+// keeps every source's service queue non-empty, so aggregate content
+// throughput is the sum of the source caps, and the transfer is
+// service-bound, not round-trip-bound. That is the regime the transferbench
+// experiment validates the live plane against.
+type TransferPrediction struct {
+	// Chunks is the number of data chunks the file splits into.
+	Chunks int
+	// ContentBytes is the useful payload moved: the file size.
+	ContentBytes int64
+	// WireBytes is the total bytes on the wire for a clean (no-retry)
+	// download: the manifest exchange plus, per chunk, one ChunkRequest and
+	// one ChunkData with full framing.
+	WireBytes int64
+	// Efficiency is ContentBytes / WireBytes — the fraction of transfer-class
+	// wire traffic that is file payload.
+	Efficiency float64
+	// ThroughputBps is the predicted aggregate content throughput in
+	// bytes/sec: Sources × SourceRateBps. Zero when sources are unpaced.
+	ThroughputBps float64
+	// DurationSec is the predicted wall-clock seconds for the download at
+	// ThroughputBps. Zero when sources are unpaced.
+	DurationSec float64
+}
+
+// PredictTransfer evaluates the analytical model for one download workload.
+// Pure: it touches no instance or evaluator state, so it composes with any
+// Result without perturbing the query-load evaluation.
+func PredictTransfer(w TransferWorkload) (*TransferPrediction, error) {
+	if w.FileSize <= 0 {
+		return nil, fmt.Errorf("analysis: transfer workload FileSize %d, want > 0", w.FileSize)
+	}
+	if w.ChunkSize <= 0 || w.ChunkSize > gnutella.MaxChunkLen {
+		return nil, fmt.Errorf("analysis: transfer workload ChunkSize %d, want 1..%d", w.ChunkSize, gnutella.MaxChunkLen)
+	}
+	if w.Sources <= 0 {
+		return nil, fmt.Errorf("analysis: transfer workload Sources %d, want > 0", w.Sources)
+	}
+	chunks := int((w.FileSize + int64(w.ChunkSize) - 1) / int64(w.ChunkSize))
+
+	// Manifest exchange: one request plus the manifest frame. Every source
+	// bootstraps from the first, but only the first source's exchange is
+	// charged here: Resume and the per-source re-fetch are retry paths, and
+	// the prediction is for a clean download.
+	wire := int64(gnutella.ChunkRequestSize())
+	wire += int64(gnutella.ChunkDataSize(transfer.ManifestLen(chunks)))
+	// Per chunk: request out, data back. The final chunk may be short.
+	wire += int64(chunks) * int64(gnutella.ChunkRequestSize())
+	full := w.FileSize / int64(w.ChunkSize)
+	wire += full * int64(gnutella.ChunkDataSize(w.ChunkSize))
+	if tail := int(w.FileSize % int64(w.ChunkSize)); tail > 0 {
+		wire += int64(gnutella.ChunkDataSize(tail))
+	}
+
+	p := &TransferPrediction{
+		Chunks:       chunks,
+		ContentBytes: w.FileSize,
+		WireBytes:    wire,
+		Efficiency:   float64(w.FileSize) / float64(wire),
+	}
+	if w.SourceRateBps > 0 {
+		p.ThroughputBps = float64(w.Sources) * w.SourceRateBps
+		p.DurationSec = float64(w.FileSize) / p.ThroughputBps
+	}
+	return p, nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"spnet/internal/gnutella"
+	"spnet/internal/transfer"
+)
+
+func TestPredictTransferAccounting(t *testing.T) {
+	w := TransferWorkload{
+		FileSize: 512 << 10, ChunkSize: 16 << 10,
+		Sources: 2, SourceRateBps: 256 << 10,
+	}
+	p, err := PredictTransfer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chunks != 32 {
+		t.Errorf("Chunks = %d, want 32", p.Chunks)
+	}
+	// Hand-computed wire total: manifest exchange + 32 full chunks.
+	want := int64(gnutella.ChunkRequestSize()) +
+		int64(gnutella.ChunkDataSize(transfer.ManifestLen(32))) +
+		32*int64(gnutella.ChunkRequestSize()) +
+		32*int64(gnutella.ChunkDataSize(16<<10))
+	if p.WireBytes != want {
+		t.Errorf("WireBytes = %d, want %d", p.WireBytes, want)
+	}
+	if p.WireBytes <= p.ContentBytes {
+		t.Error("framing overhead missing: wire bytes not above content bytes")
+	}
+	if p.Efficiency <= 0.9 || p.Efficiency >= 1 {
+		t.Errorf("Efficiency = %.4f, want in (0.9, 1) for 16 KiB chunks", p.Efficiency)
+	}
+	if got, want := p.ThroughputBps, float64(2*256<<10); got != want {
+		t.Errorf("ThroughputBps = %g, want %g", got, want)
+	}
+	if got, want := p.DurationSec, 1.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("DurationSec = %g, want %g", got, want)
+	}
+}
+
+func TestPredictTransferShortTail(t *testing.T) {
+	// 100 KiB in 16 KiB chunks: 6 full + one 4 KiB tail.
+	p, err := PredictTransfer(TransferWorkload{FileSize: 100 << 10, ChunkSize: 16 << 10, Sources: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chunks != 7 {
+		t.Errorf("Chunks = %d, want 7", p.Chunks)
+	}
+	want := int64(gnutella.ChunkRequestSize()) +
+		int64(gnutella.ChunkDataSize(transfer.ManifestLen(7))) +
+		7*int64(gnutella.ChunkRequestSize()) +
+		6*int64(gnutella.ChunkDataSize(16<<10)) +
+		int64(gnutella.ChunkDataSize(4<<10))
+	if p.WireBytes != want {
+		t.Errorf("WireBytes = %d, want %d", p.WireBytes, want)
+	}
+	if p.ThroughputBps != 0 || p.DurationSec != 0 {
+		t.Error("unpaced sources must not predict throughput or duration")
+	}
+}
+
+func TestPredictTransferRejectsBadWorkloads(t *testing.T) {
+	bad := []TransferWorkload{
+		{FileSize: 0, ChunkSize: 1024, Sources: 1},
+		{FileSize: 1024, ChunkSize: 0, Sources: 1},
+		{FileSize: 1024, ChunkSize: gnutella.MaxChunkLen + 1, Sources: 1},
+		{FileSize: 1024, ChunkSize: 1024, Sources: 0},
+	}
+	for _, w := range bad {
+		if _, err := PredictTransfer(w); err == nil {
+			t.Errorf("PredictTransfer(%+v) accepted, want error", w)
+		}
+	}
+}

@@ -162,6 +162,7 @@ var registry = []definition{
 	{"routingcompare", "Extension: query-routing strategies — bandwidth saved vs recall lost, three ways", runRoutingCompareDefault},
 	{"trustsweep", "Extension: adversarial peers vs reputation-weighted selection — lost queries, three ways", runTrustSweepDefault},
 	{"selfheal", "Extension: self-healing fleet control plane — Section 5.3 decisions pushed to live nodes", runSelfHealDefault},
+	{"transferbench", "Extension: content transfer plane — analytical vs live multi-source download throughput", runTransferBenchDefault},
 }
 
 // IDs lists the registered experiment ids in order.

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig11", "fig12", "rule4",
 		"figA13", "figA14", "figA15", "tableD2", "simcheck", "kredundancy", "reliability", "breakdown",
-		"loadvalidation", "routingcompare", "trustsweep", "selfheal"}
+		"loadvalidation", "routingcompare", "trustsweep", "selfheal", "transferbench"}
 	if len(ids) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(ids), len(want))
 	}

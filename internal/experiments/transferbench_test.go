@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyTransferBenchParams keeps the wall clock around 2-3 seconds: 512 KiB
+// from 3 sources at 256 KiB/s predicts a ~0.67s clean download plus the
+// failover drill.
+func tinyTransferBenchParams(seed uint64) TransferBenchParams {
+	return TransferBenchParams{
+		Clusters:   3,
+		FileSize:   512 << 10,
+		ChunkSize:  16 << 10,
+		SourceRate: 256 << 10,
+		Seed:       seed,
+	}
+}
+
+// TestTransferBenchEndToEnd is the acceptance drill for the transfer plane:
+// live multi-source throughput must land within 30% of the analytical
+// prediction, the transfer-class wire accounting must match the protocol
+// model, and the killed-source download must complete with the hash intact.
+func TestTransferBenchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live network run")
+	}
+	res, err := RunTransferBenchResult(tinyTransferBenchParams(11))
+	if err != nil {
+		t.Fatalf("RunTransferBenchResult: %v", err)
+	}
+	if res.Sources != 3 {
+		t.Errorf("overlay query surfaced %d sources, want 3", res.Sources)
+	}
+	if e := res.ThroughputRelErr(); e > 0.30 {
+		t.Errorf("live throughput %.0f B/s vs predicted %.0f B/s: rel err %.1f%%, want <= 30%%",
+			res.Clean.ThroughputBps, res.Pred.ThroughputBps, 100*e)
+	}
+	if e := res.WireRelErr(); e > 0.10 {
+		t.Errorf("scraped transfer wire bytes %.0f vs predicted %d: rel err %.1f%%, want <= 10%%",
+			res.WireScraped, res.Pred.WireBytes, 100*e)
+	}
+	if res.Kill.Recovery <= 0 {
+		t.Errorf("failover drill recovery %v, want > 0", res.Kill.Recovery)
+	}
+	if res.Kill.Result.Retried == 0 {
+		t.Error("killed source's outstanding chunks were never re-queued")
+	}
+	t.Logf("throughput: predicted %.0f live %.0f (err %.1f%%); wire err %.1f%%; kill at %v, recovery %v",
+		res.Pred.ThroughputBps, res.Clean.ThroughputBps, 100*res.ThroughputRelErr(),
+		100*res.WireRelErr(), res.Kill.KillAt.Round(time.Millisecond),
+		res.Kill.Recovery.Round(time.Millisecond))
+
+	rep := Format(res.Report)
+	for _, want := range []string{"transferbench", "failover drill", "throughput"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -34,6 +34,10 @@ func seedMessages(t testing.TB) []Message {
 		&Directive{ID: GUID{11}, Epoch: 43, Action: ActionPromotePartner,
 			MaxClients: 200, Target: "127.0.0.1:7002"},
 		&DirectiveAck{ID: GUID{12}, Epoch: 43, Applied: 1, NodeID: "sp-0-1"},
+		&ChunkRequest{ID: GUID{13}, FileIndex: 4, Chunk: 2},
+		&ChunkData{ID: GUID{14}, FileIndex: 4, Chunk: 2, TotalChunks: 8,
+			FileSize: 1 << 20, Data: []byte("chunk payload bytes")},
+		&ChunkNack{ID: GUID{15}, FileIndex: 4, Chunk: 9, Code: NackNotFound},
 	}
 }
 

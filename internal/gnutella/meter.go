@@ -18,6 +18,8 @@ func LoadClass(t MsgType) metrics.Class {
 		return metrics.ClassBusy
 	case TypePing, TypePong:
 		return metrics.ClassPing
+	case TypeChunkRequest, TypeChunkData, TypeChunkNack:
+		return metrics.ClassTransfer
 	case TypeSummary, TypeRegister, TypeDirective, TypeDirectiveAck:
 		return metrics.ClassOther
 	}
@@ -39,6 +41,8 @@ func MessageClass(m Message) metrics.Class {
 		return metrics.ClassBusy
 	case *Ping, *Pong:
 		return metrics.ClassPing
+	case *ChunkRequest, *ChunkData, *ChunkNack:
+		return metrics.ClassTransfer
 	case *Summary, *Register, *Directive, *DirectiveAck:
 		return metrics.ClassOther
 	}

@@ -118,3 +118,23 @@ func DirectiveSize(targetLen int) int {
 func DirectiveAckSize(nodeIDLen int) int {
 	return FrameOverhead + DescriptorHeaderLen + ackPayload + 1 + nodeIDLen
 }
+
+// ChunkRequestSize returns the on-the-wire size of a ChunkRequest: framing +
+// descriptor header + 4-byte file index + 4-byte chunk index. Transfer frames
+// form their own load class (metrics.ClassTransfer) beside Table 2.
+func ChunkRequestSize() int {
+	return FrameOverhead + DescriptorHeaderLen + chunkRequestPayload
+}
+
+// ChunkDataSize returns the on-the-wire size of a ChunkData frame carrying
+// dataLen chunk bytes: framing + descriptor header + 20 fixed bytes (file
+// index, chunk index, total chunks, file size) + the chunk bytes.
+func ChunkDataSize(dataLen int) int {
+	return FrameOverhead + DescriptorHeaderLen + chunkDataPayload + dataLen
+}
+
+// ChunkNackSize returns the on-the-wire size of a ChunkNack: framing +
+// descriptor header + 4-byte file index + 4-byte chunk index + 1-byte code.
+func ChunkNackSize() int {
+	return FrameOverhead + DescriptorHeaderLen + chunkNackPayload
+}

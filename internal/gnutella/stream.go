@@ -25,6 +25,9 @@ var (
 	_ Message = (*Register)(nil)
 	_ Message = (*Directive)(nil)
 	_ Message = (*DirectiveAck)(nil)
+	_ Message = (*ChunkRequest)(nil)
+	_ Message = (*ChunkData)(nil)
+	_ Message = (*ChunkNack)(nil)
 )
 
 // MaxPayloadLen is the hard upper bound on accepted payloads, protecting
@@ -88,6 +91,15 @@ func WriteMessage(w io.Writer, m Message) error {
 	case *Join:
 		buf = msg.Encode()
 	case *Update:
+		buf = msg.Encode()
+	case *ChunkRequest:
+		buf = msg.Encode()
+	case *ChunkData:
+		buf, err = msg.Encode()
+		if err != nil {
+			return err
+		}
+	case *ChunkNack:
 		buf = msg.Encode()
 	default:
 		return fmt.Errorf("%w: unsupported message type %T", ErrBadMessage, m)
@@ -153,6 +165,12 @@ func ReadMessageLimit(r io.Reader, maxPayload uint32) (Message, error) {
 		return DecodeDirective(buf)
 	case TypeDirectiveAck:
 		return DecodeDirectiveAck(buf)
+	case TypeChunkRequest:
+		return DecodeChunkRequest(buf)
+	case TypeChunkData:
+		return DecodeChunkData(buf)
+	case TypeChunkNack:
+		return DecodeChunkNack(buf)
 	}
 	return nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrBadMessage, byte(h.Type))
 }

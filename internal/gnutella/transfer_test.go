@@ -1,0 +1,159 @@
+package gnutella
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestChunkRequestRoundTrip(t *testing.T) {
+	in := &ChunkRequest{ID: GUID{1, 2, 3}, FileIndex: 7, Chunk: 42}
+	buf := in.Encode()
+	if len(buf) != DescriptorHeaderLen+chunkRequestPayload {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), DescriptorHeaderLen+chunkRequestPayload)
+	}
+	out, err := DecodeChunkRequest(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if *out != *in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+	if got, want := in.WireSize(), ChunkRequestSize(); got != want {
+		t.Errorf("WireSize = %d, want %d", got, want)
+	}
+	if want := FrameOverhead + len(buf); in.WireSize() != want {
+		t.Errorf("WireSize = %d, want framing + encoded = %d", in.WireSize(), want)
+	}
+}
+
+func TestChunkDataRoundTrip(t *testing.T) {
+	in := &ChunkData{
+		ID: GUID{4}, FileIndex: 1, Chunk: 3, TotalChunks: 16,
+		FileSize: 1 << 20, Data: []byte("some chunk bytes"),
+	}
+	buf, err := in.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodeChunkData(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.FileIndex != in.FileIndex || out.Chunk != in.Chunk ||
+		out.TotalChunks != in.TotalChunks || out.FileSize != in.FileSize ||
+		!bytes.Equal(out.Data, in.Data) {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+	if got, want := in.WireSize(), ChunkDataSize(len(in.Data)); got != want {
+		t.Errorf("WireSize = %d, want %d", got, want)
+	}
+	if want := FrameOverhead + len(buf); in.WireSize() != want {
+		t.Errorf("WireSize = %d, want framing + encoded = %d", in.WireSize(), want)
+	}
+}
+
+func TestChunkDataEmptyPayload(t *testing.T) {
+	in := &ChunkData{ID: GUID{5}, FileIndex: 2, Chunk: 0, TotalChunks: 1}
+	buf, err := in.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodeChunkData(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Data) != 0 {
+		t.Errorf("empty chunk decoded with %d data bytes", len(out.Data))
+	}
+}
+
+func TestChunkDataRejectsOversize(t *testing.T) {
+	in := &ChunkData{Data: make([]byte, MaxChunkLen+1)}
+	if _, err := in.Encode(); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("encoding %d-byte chunk: err = %v, want ErrBadMessage", len(in.Data), err)
+	}
+}
+
+func TestChunkNackRoundTrip(t *testing.T) {
+	for _, code := range []uint8{NackNotFound, NackBusy, NackBadRequest} {
+		in := &ChunkNack{ID: GUID{6}, FileIndex: 9, Chunk: 1, Code: code}
+		out, err := DecodeChunkNack(in.Encode())
+		if err != nil {
+			t.Fatalf("decode code %d: %v", code, err)
+		}
+		if *out != *in {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestDecodeChunkFramesRejectDamage(t *testing.T) {
+	req := (&ChunkRequest{FileIndex: 1, Chunk: 2}).Encode()
+	data, _ := (&ChunkData{FileIndex: 1, Chunk: 2, TotalChunks: 3, Data: []byte("x")}).Encode()
+	nack := (&ChunkNack{FileIndex: 1, Chunk: 2, Code: NackBusy}).Encode()
+
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"request truncated", req[:len(req)-1]},
+		{"request trailing byte", append(append([]byte(nil), req...), 0)},
+		{"data truncated below fixed part", data[:DescriptorHeaderLen+chunkDataPayload-1]},
+		{"nack truncated", nack[:len(nack)-1]},
+		{"nack bad code", func() []byte {
+			b := append([]byte(nil), nack...)
+			b[31] = 99
+			return b
+		}()},
+		{"wrong type for request", data},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.buf
+			// Re-stamp the header's payload length to match the damaged body so
+			// the length check isn't the only line of defense being exercised.
+			var err error
+			switch {
+			case tc.name == "wrong type for request":
+				_, err = DecodeChunkRequest(buf)
+			case buf[16] == byte(TypeChunkRequest):
+				_, err = DecodeChunkRequest(buf)
+			case buf[16] == byte(TypeChunkData):
+				_, err = DecodeChunkData(buf)
+			default:
+				_, err = DecodeChunkNack(buf)
+			}
+			if !errors.Is(err, ErrBadMessage) && !errors.Is(err, ErrShortMessage) {
+				t.Errorf("%s: err = %v, want ErrBadMessage/ErrShortMessage", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestChunkFramesOverStream(t *testing.T) {
+	msgs := []Message{
+		&ChunkRequest{ID: GUID{1}, FileIndex: 3, Chunk: 0},
+		&ChunkData{ID: GUID{2}, FileIndex: 3, Chunk: 0, TotalChunks: 4,
+			FileSize: 999, Data: bytes.Repeat([]byte("ab"), 500)},
+		&ChunkNack{ID: GUID{3}, FileIndex: 3, Chunk: 7, Code: NackBusy},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("writing %T: %v", m, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("reading back %T: %v", want, err)
+		}
+		if wantCls, gotCls := MessageClass(want), MessageClass(got); wantCls != gotCls || gotCls.String() != "transfer" {
+			t.Errorf("%T classed %v, want transfer", got, gotCls)
+		}
+		if got.WireSize() != want.WireSize() {
+			t.Errorf("%T wire size %d after round trip, want %d", got, got.WireSize(), want.WireSize())
+		}
+	}
+}

@@ -47,6 +47,12 @@ func (t MsgType) String() string {
 		return "Directive"
 	case TypeDirectiveAck:
 		return "DirectiveAck"
+	case TypeChunkRequest:
+		return "ChunkRequest"
+	case TypeChunkData:
+		return "ChunkData"
+	case TypeChunkNack:
+		return "ChunkNack"
 	}
 	return fmt.Sprintf("MsgType(0x%02x)", byte(t))
 }

@@ -11,6 +11,13 @@ var DefLatencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// DefThroughputBuckets are the default upper bounds (bytes per second) for
+// transfer throughput histograms, spanning rate-capped test links (tens of
+// KiB/s) to uncapped loopback transfers (hundreds of MiB/s).
+var DefThroughputBuckets = []float64{
+	1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28,
+}
+
 // Histogram is a fixed-bucket histogram: observations land in the first
 // bucket whose upper bound is >= the value, with an implicit +Inf overflow
 // bucket. Observe is lock-free and allocation-free; Snapshot is a best-effort

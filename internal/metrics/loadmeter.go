@@ -8,6 +8,9 @@ type Class uint8
 // and response-transfer components; Join and Update are the Section 3.2
 // metadata actions; Busy is overload shedding and Ping the liveness
 // heartbeat (both live-stack additions with no analytical counterpart).
+// Transfer is the content download plane (ChunkRequest/ChunkData/ChunkNack):
+// the traffic a QueryHit exists to set up, priced as its own class because
+// the paper's cost model stops at the hit.
 const (
 	ClassQuery Class = iota
 	ClassResponse
@@ -15,13 +18,14 @@ const (
 	ClassUpdate
 	ClassBusy
 	ClassPing
+	ClassTransfer
 	ClassOther
 
 	// NumClasses is the number of taxonomy classes.
 	NumClasses = int(ClassOther) + 1
 )
 
-var classNames = [NumClasses]string{"query", "response", "join", "update", "busy", "ping", "other"}
+var classNames = [NumClasses]string{"query", "response", "join", "update", "busy", "ping", "transfer", "other"}
 
 func (c Class) String() string {
 	if int(c) < NumClasses {
@@ -141,6 +145,22 @@ const (
 	// fleet controller, labeled by result: "applied" or "stale" (epoch at or
 	// below the last applied one — the idempotent reject).
 	MetricControlDirectives = "spnet_control_directives_total"
+	// MetricTransferBytes counts verified content payload bytes moved by the
+	// transfer plane, by direction. Distinct from the ClassTransfer cells of
+	// spnet_message_bytes_total, which charge full wire size (headers, nacks,
+	// retried and forged chunks included): the ratio of the two is the
+	// transfer plane's wire efficiency.
+	MetricTransferBytes = "spnet_transfer_bytes_total"
+	// MetricChunksRetried counts chunk fetches re-issued after a timeout,
+	// nack, or source failure.
+	MetricChunksRetried = "spnet_transfer_chunks_retried_total"
+	// MetricChunksForged counts chunks rejected because their bytes did not
+	// hash to the manifest entry — the transfer-plane analog of forged
+	// QueryHits, debited against the source through internal/trust.
+	MetricChunksForged = "spnet_transfer_chunks_forged_total"
+	// MetricTransferThroughput is the per-completed-download content
+	// throughput histogram in bytes per second.
+	MetricTransferThroughput = "spnet_transfer_throughput_bps"
 )
 
 // LoadMeter attributes messages and bytes to the load taxonomy. It is the
@@ -281,6 +301,16 @@ type NodeMetrics struct {
 	// outcome: applied, or rejected as stale by the epoch idempotency rule.
 	DirectivesApplied *Counter
 	DirectivesStale   *Counter
+	// TransferBytes counts verified content payload bytes by direction:
+	// DirOut on serving nodes, DirIn on downloaders.
+	TransferBytes [NumDirs]*Counter
+	// ChunksRetried counts chunk fetches re-issued after timeout/nack/death.
+	ChunksRetried *Counter
+	// ChunksForged counts hash-mismatched chunks rejected by the downloader.
+	ChunksForged *Counter
+	// TransferThroughput is the per-download content throughput histogram
+	// (bytes per second), observed once per completed download.
+	TransferThroughput *Histogram
 }
 
 // NewNodeMetrics builds a node metric set on a fresh registry.
@@ -311,6 +341,13 @@ func NewNodeMetrics() *NodeMetrics {
 		Label{"result", "applied"})
 	nm.DirectivesStale = r.Counter(MetricControlDirectives, "Control-plane directives by outcome.",
 		Label{"result", "stale"})
+	for d := 0; d < NumDirs; d++ {
+		nm.TransferBytes[d] = r.Counter(MetricTransferBytes, "Verified content payload bytes by direction.",
+			Label{"dir", Dir(d).String()})
+	}
+	nm.ChunksRetried = r.Counter(MetricChunksRetried, "Chunk fetches re-issued after timeout, nack or source failure.")
+	nm.ChunksForged = r.Counter(MetricChunksForged, "Hash-mismatched chunks rejected by the downloader.")
+	nm.TransferThroughput = r.Histogram(MetricTransferThroughput, "Per-download content throughput in bytes per second.", DefThroughputBuckets)
 	return nm
 }
 

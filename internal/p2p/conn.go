@@ -26,7 +26,10 @@ type conn struct {
 	// isControl marks a fleet-controller link: outside the client/peer
 	// capacity budgets and outside the query path entirely.
 	isControl bool
-	owner     int // client owner id; -1 for peers
+	// isTransfer marks a content-download link, admitted under its own
+	// capacity budget (Options.MaxTransfers) and served by runTransfer.
+	isTransfer bool
+	owner      int // client owner id; -1 for peers
 	// peerID is the link's stable id in the routing strategy's neighbor
 	// namespace; assigned under Node.mu when the peer link registers.
 	peerID int
@@ -523,7 +526,13 @@ func (n *Node) searchLocked(id gnutella.GUID, text string) *gnutella.QueryHit {
 			ref = uint16(len(hit.Responders))
 			addrByOwner[m.Doc.Owner] = ref
 			rec := gnutella.ResponderRecord{ClientGUID: n.guids[m.Doc.Owner]}
-			if cl := n.clients[m.Doc.Owner]; cl != nil {
+			if m.Doc.Owner == storeOwner {
+				// Store-served content: the node itself is the responder, at
+				// its listen address — dialable, unlike client remote addrs.
+				if n.ln != nil {
+					rec.IP, rec.Port = splitAddr(n.ln.Addr())
+				}
+			} else if cl := n.clients[m.Doc.Owner]; cl != nil {
 				rec.IP, rec.Port = splitAddr(cl.c.RemoteAddr())
 			}
 			hit.Responders = append(hit.Responders, rec)

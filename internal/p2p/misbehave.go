@@ -30,6 +30,11 @@ type MisbehaveOptions struct {
 	// BusyLie is the probability a local client's query is refused with
 	// Busy despite available capacity.
 	BusyLie float64
+	// ForgeChunk is the probability a served data chunk's payload is
+	// corrupted before send — the transfer-plane forgery the downloader's
+	// manifest hash check must catch and debit through trust. Manifests are
+	// never corrupted: the attack modeled is data poisoning, not denial.
+	ForgeChunk float64
 	// Seed seeds the misbehavior draw stream.
 	Seed uint64
 }
@@ -69,6 +74,10 @@ func (m *misbehaveState) forgeHit() bool {
 
 func (m *misbehaveState) busyLie() bool {
 	return m != nil && m.draw(m.opts.BusyLie)
+}
+
+func (m *misbehaveState) forgeChunk() bool {
+	return m != nil && m.draw(m.opts.ForgeChunk)
 }
 
 // forgeQueryHit fabricates the hit a forging node sends back for a relayed

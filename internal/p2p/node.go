@@ -27,6 +27,7 @@ import (
 	"spnet/internal/metrics"
 	"spnet/internal/routing"
 	"spnet/internal/stats"
+	"spnet/internal/transfer"
 	"spnet/internal/trust"
 )
 
@@ -118,6 +119,18 @@ type Options struct {
 	// keeps, so a misjudged peer can still earn its reputation back
 	// (default 0.1).
 	TrustFloor float64
+	// Content, when set, makes this node a transfer source: the store's
+	// catalog is indexed beside client collections (queries hit it and the
+	// QueryHit carries this node's own listen address as the dialable
+	// responder), and transfer.Hello links are served chunks from it.
+	Content *transfer.Store
+	// MaxTransfers bounds concurrent transfer links, a capacity budget of
+	// their own so downloads can't crowd out clients or peers (default 16).
+	MaxTransfers int
+	// TransferRate caps the node's aggregate served content bytes/sec across
+	// all transfer links, so transfers can't starve the query plane of the
+	// machine either (default 0: unlimited).
+	TransferRate float64
 	// Misbehave, when set, makes this node an adversary for robustness
 	// experiments: it freeloads, forges hits, and Busy-lies per the
 	// configured probabilities. Test hook; nil in production.
@@ -185,6 +198,9 @@ func (o *Options) setDefaults() {
 	if o.DrainTimeout == 0 {
 		o.DrainTimeout = 2 * time.Second
 	}
+	if o.MaxTransfers <= 0 {
+		o.MaxTransfers = 16
+	}
 	if o.TrustPeerShare <= 0 || o.TrustPeerShare > 1 {
 		o.TrustPeerShare = 0.5
 	}
@@ -247,8 +263,13 @@ type Node struct {
 	// clients/peers maps are only populated later (on Join / in runPeer), so
 	// capacity must be enforced on these counters to make check-and-admit
 	// atomic — otherwise concurrent handshakes slip past MaxClients/MaxPeers.
-	nClients int
-	nPeers   int
+	nClients   int
+	nPeers     int
+	nTransfers int
+
+	// xferLimit paces served transfer bytes (Options.TransferRate); nil when
+	// the node serves no content.
+	xferLimit *byteLimiter
 
 	// Query dispatch: readers enqueue, workers execute. The queue is the
 	// overload-protection buffer between accept rate and processing rate;
@@ -323,6 +344,11 @@ func NewNode(opts Options) *Node {
 	n.routeSummaries = routing.UsesSummaries(n.route)
 	n.rstate = routing.NewNodeState(stats.NewRNG(opts.RoutingSeed))
 	n.metrics.InitForwarded(n.route.Name())
+	if opts.Content != nil {
+		n.indexStore(opts.Content)
+		burst := 2 * float64(opts.Content.ChunkSize())
+		n.xferLimit = &byteLimiter{rate: opts.TransferRate, burst: burst}
+	}
 	return n
 }
 
@@ -538,6 +564,17 @@ func (n *Node) serve(c net.Conn) {
 		fmt.Fprintf(c, "%s\n", helloOK)
 		defer n.unregister(cc)
 		n.runControl(cc)
+	case transfer.Hello:
+		cc := newConn(n, c, br, false)
+		cc.isTransfer = true
+		if !n.registerTransfer(cc) {
+			fmt.Fprintf(c, "%s\n", transfer.HelloBusy)
+			c.Close()
+			return
+		}
+		fmt.Fprintf(c, "%s\n", transfer.HelloOK)
+		defer n.unregister(cc)
+		n.runTransfer(cc)
 	default:
 		n.opts.Logf("p2p: rejecting unknown hello %q from %s", hello, c.RemoteAddr())
 		c.Close()
@@ -577,6 +614,8 @@ func (n *Node) unregister(c *conn) {
 		switch {
 		case c.isControl:
 			delete(n.ctlConns, c)
+		case c.isTransfer:
+			n.nTransfers--
 		case c.isClient:
 			n.nClients--
 		default:

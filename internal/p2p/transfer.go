@@ -1,0 +1,159 @@
+package p2p
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spnet/internal/gnutella"
+	"spnet/internal/index"
+	"spnet/internal/metrics"
+	"spnet/internal/transfer"
+)
+
+// storeOwner is the reserved index owner id under which a node's own content
+// Store is indexed. Client owner ids are assigned sequentially from 0, so the
+// store's catalog can never collide with a real client; unlike client docs,
+// store docs answer QueryHits with the node's own listen address — a dialable
+// transfer source.
+const storeOwner = 1 << 30
+
+// indexStore adds the content store's catalog to the node's inverted index,
+// so queries hit served files exactly like client collections.
+func (n *Node) indexStore(s *transfer.Store) {
+	for _, f := range s.Files() {
+		if terms := titleTerms(f.Title); len(terms) > 0 {
+			n.index.Add(index.DocID{Owner: storeOwner, File: f.Index}, terms)
+		}
+	}
+}
+
+// byteLimiter paces the node's aggregate served transfer bytes: reserve
+// debits n bytes and returns how long the caller must sleep before sending
+// so the long-run rate stays at `rate` bytes/sec. Debt-based (tokens may go
+// negative), which smooths pacing at chunk granularity. A zero rate means
+// unlimited.
+type byteLimiter struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (l *byteLimiter) reserve(now time.Time, n int) time.Duration {
+	if l == nil || l.rate <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last.IsZero() {
+		l.tokens = l.burst
+	} else {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	l.tokens -= float64(n)
+	if l.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-l.tokens / l.rate * float64(time.Second))
+}
+
+// registerTransfer admits a transfer link under its own capacity budget,
+// separate from the client/peer counts, so downloads can never crowd
+// queries out of the node (or vice versa).
+func (n *Node) registerTransfer(c *conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.opts.Content == nil {
+		return false
+	}
+	if n.nTransfers >= n.opts.MaxTransfers {
+		return false
+	}
+	n.nTransfers++
+	n.conns[c] = struct{}{}
+	n.metrics.ConnsOpen.Inc()
+	return true
+}
+
+// runTransfer serves one transfer link: a strict request/response loop over
+// the content store. Responses go back in request order, which is what lets
+// the downloader pipeline a window of requests per source.
+func (n *Node) runTransfer(c *conn) {
+	defer c.c.Close()
+	for {
+		msg, err := c.read()
+		if err != nil {
+			return
+		}
+		c.touch()
+		req, ok := msg.(*gnutella.ChunkRequest)
+		if !ok {
+			n.opts.Logf("p2p: unexpected %T on transfer link from %s", msg, c.c.RemoteAddr())
+			return
+		}
+		if err := n.serveChunk(c, req); err != nil {
+			n.opts.Logf("p2p: serving chunk to %s: %v", c.c.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// serveChunk answers one ChunkRequest from the store, pacing data chunks
+// through the node's transfer-rate limiter. Unknown files or chunk indices
+// are nacked, not dropped, so the downloader can re-aim immediately.
+func (n *Node) serveChunk(c *conn, req *gnutella.ChunkRequest) error {
+	data, man, ok := n.opts.Content.ChunkData(req.FileIndex, req.Chunk)
+	if !ok {
+		return c.send(&gnutella.ChunkNack{
+			ID: req.ID, FileIndex: req.FileIndex, Chunk: req.Chunk,
+			Code: gnutella.NackNotFound,
+		})
+	}
+	if req.Chunk != transfer.ManifestChunk {
+		if n.mis.forgeChunk() && len(data) > 0 {
+			// Adversary: flip bits in the payload. The manifest hash check on
+			// the receiving side is what catches this.
+			data[0] ^= 0xA5
+		}
+		if d := n.xferLimit.reserve(time.Now(), len(data)); d > 0 {
+			time.Sleep(d)
+		}
+		n.metrics.TransferBytes[metrics.DirOut].Add(int64(len(data)))
+	}
+	return c.send(&gnutella.ChunkData{
+		ID: req.ID, FileIndex: req.FileIndex, Chunk: req.Chunk,
+		TotalChunks: uint32(man.NumChunks()), FileSize: uint64(man.FileSize),
+		Data: data,
+	})
+}
+
+// TransferSources distills search results into dialable download sources for
+// one exact title: unique responder addresses paired with the file index each
+// advertised. Results without a dialable address (forged, or clients behind
+// ephemeral ports) are skipped.
+func TransferSources(results []SearchResult, title string) []transfer.Source {
+	seen := make(map[string]bool)
+	var out []transfer.Source
+	for _, r := range results {
+		if title != "" && r.Title != title {
+			continue
+		}
+		if r.OwnerPort == 0 {
+			continue
+		}
+		addr := fmt.Sprintf("%d.%d.%d.%d:%d",
+			r.OwnerIP[0], r.OwnerIP[1], r.OwnerIP[2], r.OwnerIP[3], r.OwnerPort)
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		out = append(out, transfer.Source{Addr: addr, FileIndex: r.FileIndex})
+	}
+	return out
+}

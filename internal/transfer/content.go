@@ -1,0 +1,83 @@
+// Package transfer is the content download plane: it turns QueryHit results
+// into chunked, resumable, multi-source file transfers over the live network.
+// A serving super-peer holds a Store of deterministic content keyed by
+// internal/content titles; a downloader fetches the file's Manifest (chunk
+// hashes) and then pulls chunks from every source in parallel under
+// per-source outstanding windows, verifying each chunk against the manifest,
+// debiting forged chunks through internal/trust, and resuming from its chunk
+// bitmap when a source dies. Transfer traffic is metered as
+// metrics.ClassTransfer — a load class of its own beside the paper's Table 2
+// taxonomy, which stops at the QueryHit.
+package transfer
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Content bytes are a SHA-256 keystream keyed by (title, block): every node
+// seeded with the same title serves bit-identical bytes, so tests and
+// experiments can verify whole-file hashes against locally computed ground
+// truth without shipping any real payload.
+
+// contentBlockLen is the keystream block width (one SHA-256 digest).
+const contentBlockLen = sha256.Size
+
+func contentBlock(title string, block uint64) [contentBlockLen]byte {
+	h := sha256.New()
+	h.Write([]byte(title))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], block)
+	h.Write(n[:])
+	var out [contentBlockLen]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FillContent writes the deterministic content of title at byte offset off
+// into buf. Any (off, len) window of the same title yields the same bytes.
+func FillContent(title string, off int64, buf []byte) {
+	for len(buf) > 0 {
+		block := uint64(off) / contentBlockLen
+		skip := int(uint64(off) % contentBlockLen)
+		b := contentBlock(title, block)
+		n := copy(buf, b[skip:])
+		buf = buf[n:]
+		off += int64(n)
+	}
+}
+
+// ContentSize derives a file's deterministic size in [min, max] from its
+// title, so a title alone pins both the bytes and how many of them there are.
+func ContentSize(title string, min, max int64) int64 {
+	if max < min {
+		max = min
+	}
+	if min < 1 {
+		min = 1
+	}
+	h := sha256.Sum256([]byte("size:" + title))
+	span := uint64(max-min) + 1
+	return min + int64(binary.LittleEndian.Uint64(h[:8])%span)
+}
+
+// ContentHash returns the SHA-256 of the whole deterministic content of
+// title at the given size — the ground truth a completed download's Result
+// hash must equal.
+func ContentHash(title string, size int64) [sha256.Size]byte {
+	h := sha256.New()
+	buf := make([]byte, 64<<10)
+	var off int64
+	for off < size {
+		n := size - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		FillContent(title, off, buf[:n])
+		h.Write(buf[:n])
+		off += n
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

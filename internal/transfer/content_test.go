@@ -1,0 +1,164 @@
+package transfer
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"spnet/internal/content"
+)
+
+func TestFillContentDeterministicAndWindowed(t *testing.T) {
+	const title = "free jazz classics"
+	whole := make([]byte, 1000)
+	FillContent(title, 0, whole)
+
+	again := make([]byte, 1000)
+	FillContent(title, 0, again)
+	if !bytes.Equal(whole, again) {
+		t.Fatal("same (title, offset, len) produced different bytes")
+	}
+
+	// Any window must agree with the whole.
+	win := make([]byte, 100)
+	FillContent(title, 357, win)
+	if !bytes.Equal(win, whole[357:457]) {
+		t.Error("windowed fill disagrees with whole-file fill")
+	}
+
+	other := make([]byte, 1000)
+	FillContent(title+"!", 0, other)
+	if bytes.Equal(whole, other) {
+		t.Error("different titles produced identical bytes")
+	}
+}
+
+func TestContentSizeBounds(t *testing.T) {
+	lib := content.DefaultLibrary()
+	_ = lib
+	for _, title := range []string{"a", "b", "some longer title here"} {
+		s := ContentSize(title, 100, 200)
+		if s < 100 || s > 200 {
+			t.Errorf("ContentSize(%q) = %d, want in [100, 200]", title, s)
+		}
+		if s != ContentSize(title, 100, 200) {
+			t.Errorf("ContentSize(%q) not deterministic", title)
+		}
+	}
+	if s := ContentSize("x", 500, 500); s != 500 {
+		t.Errorf("degenerate range: got %d, want 500", s)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := BuildManifest("title words", 100_000, 1<<12)
+	if got, want := m.NumChunks(), 25; got != want {
+		t.Fatalf("NumChunks = %d, want %d", got, want)
+	}
+	if got := m.ChunkLen(24); got != 100_000-24*(1<<12) {
+		t.Errorf("last ChunkLen = %d", got)
+	}
+	enc := m.Encode()
+	if len(enc) != ManifestLen(25) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), ManifestLen(25))
+	}
+	dec, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.FileSize != m.FileSize || dec.ChunkSize != m.ChunkSize || len(dec.Hashes) != len(m.Hashes) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", dec, m)
+	}
+	for i := range m.Hashes {
+		if dec.Hashes[i] != m.Hashes[i] {
+			t.Fatalf("hash %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeManifestRejectsDamage(t *testing.T) {
+	m := BuildManifest("t", 10_000, 1<<10)
+	enc := m.Encode()
+	cases := map[string][]byte{
+		"truncated": enc[:len(enc)-1],
+		"trailing":  append(append([]byte(nil), enc...), 0),
+		"short":     enc[:8],
+		// Flip a high FileSize byte: the implied chunk count no longer matches
+		// the NumChunks field. (A low-byte flip could keep the count intact.)
+		"inconsistent size": func() []byte { b := append([]byte(nil), enc...); b[2] ^= 0xFF; return b }(),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeManifest(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestManifestHashesMatchContent(t *testing.T) {
+	const title, size, chunk = "hash check title", 10_000, 1 << 10
+	m := BuildManifest(title, size, chunk)
+	for i := 0; i < m.NumChunks(); i++ {
+		buf := make([]byte, m.ChunkLen(i))
+		FillContent(title, int64(i)*chunk, buf)
+		if sha256.Sum256(buf) != m.Hashes[i] {
+			t.Fatalf("chunk %d hash mismatch", i)
+		}
+	}
+}
+
+func TestStoreChunkData(t *testing.T) {
+	s := NewStore(StoreOptions{ChunkSize: 1 << 10, MinFileSize: 3000, MaxFileSize: 5000})
+	f := s.Add("store test title")
+	if f.Size < 3000 || f.Size > 5000 {
+		t.Fatalf("file size %d out of bounds", f.Size)
+	}
+	man, ok := s.Manifest(f.Index)
+	if !ok {
+		t.Fatal("manifest missing")
+	}
+	if man.NumChunks() != f.NumChunks(s.ChunkSize()) {
+		t.Errorf("NumChunks disagree: %d vs %d", man.NumChunks(), f.NumChunks(s.ChunkSize()))
+	}
+	// Manifest sentinel returns the encoded manifest.
+	data, _, ok := s.ChunkData(f.Index, ManifestChunk)
+	if !ok {
+		t.Fatal("manifest chunk not served")
+	}
+	if _, err := DecodeManifest(data); err != nil {
+		t.Fatalf("served manifest does not decode: %v", err)
+	}
+	// Every data chunk verifies against the manifest.
+	for i := 0; i < man.NumChunks(); i++ {
+		data, _, ok := s.ChunkData(f.Index, uint32(i))
+		if !ok {
+			t.Fatalf("chunk %d not served", i)
+		}
+		if sha256.Sum256(data) != man.Hashes[i] {
+			t.Fatalf("chunk %d fails its manifest hash", i)
+		}
+	}
+	// Out-of-range file and chunk are refused.
+	if _, _, ok := s.ChunkData(f.Index, uint32(man.NumChunks())); ok {
+		t.Error("out-of-range chunk served")
+	}
+	if _, _, ok := s.ChunkData(99, 0); ok {
+		t.Error("unknown file served")
+	}
+}
+
+func TestStoreAddSampledDeterministic(t *testing.T) {
+	lib := content.DefaultLibrary()
+	a := NewStore(StoreOptions{})
+	b := NewStore(StoreOptions{})
+	a.AddSampled(lib, 5, 7)
+	b.AddSampled(lib, 5, 7)
+	fa, fb := a.Files(), b.Files()
+	if len(fa) != 5 || len(fb) != 5 {
+		t.Fatalf("got %d / %d files, want 5", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("file %d differs across equal seeds: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package transfer
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spnet/internal/gnutella"
+)
+
+// ManifestChunk is the sentinel chunk index that requests a file's manifest
+// instead of a data chunk. A downloader's first request on any source asks
+// for this; the reply's Data bytes are an encoded Manifest.
+const ManifestChunk uint32 = 0xFFFFFFFF
+
+// ErrBadManifest reports a manifest blob that does not decode.
+var ErrBadManifest = errors.New("transfer: malformed manifest")
+
+// Manifest pins a file's shape and per-chunk SHA-256 hashes. The downloader
+// verifies every arriving chunk against its manifest entry, so a forged chunk
+// from one source cannot poison a download fed by honest sources.
+type Manifest struct {
+	FileSize  int64
+	ChunkSize int
+	Hashes    [][sha256.Size]byte
+}
+
+// NumChunks returns how many chunks the file splits into.
+func (m *Manifest) NumChunks() int { return len(m.Hashes) }
+
+// ChunkLen returns the byte length of chunk i (the last chunk may be short).
+func (m *Manifest) ChunkLen(i int) int {
+	if i < 0 || i >= len(m.Hashes) {
+		return 0
+	}
+	off := int64(i) * int64(m.ChunkSize)
+	n := m.FileSize - off
+	if n > int64(m.ChunkSize) {
+		n = int64(m.ChunkSize)
+	}
+	return int(n)
+}
+
+// manifestFixed is the fixed prefix of an encoded manifest: 8-byte file size,
+// 4-byte chunk size, 4-byte chunk count (all little-endian).
+const manifestFixed = 8 + 4 + 4
+
+// ManifestLen returns the encoded manifest length for numChunks chunks.
+func ManifestLen(numChunks int) int { return manifestFixed + sha256.Size*numChunks }
+
+// maxManifestChunks bounds the chunk count so an encoded manifest always fits
+// one ChunkData frame.
+const maxManifestChunks = (gnutella.MaxChunkLen - manifestFixed) / sha256.Size
+
+// Encode serializes the manifest for shipment inside a ChunkData frame.
+func (m *Manifest) Encode() []byte {
+	buf := make([]byte, ManifestLen(len(m.Hashes)))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(m.FileSize))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(m.ChunkSize))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(m.Hashes)))
+	for i, h := range m.Hashes {
+		copy(buf[manifestFixed+i*sha256.Size:], h[:])
+	}
+	return buf
+}
+
+// DecodeManifest parses an encoded manifest, validating that the chunk count
+// and chunk size are consistent with the claimed file size.
+func DecodeManifest(buf []byte) (*Manifest, error) {
+	if len(buf) < manifestFixed {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadManifest, len(buf))
+	}
+	m := &Manifest{
+		FileSize:  int64(binary.LittleEndian.Uint64(buf[0:8])),
+		ChunkSize: int(binary.LittleEndian.Uint32(buf[8:12])),
+	}
+	n := int(binary.LittleEndian.Uint32(buf[12:16]))
+	if len(buf) != ManifestLen(n) {
+		return nil, fmt.Errorf("%w: %d bytes for %d chunks", ErrBadManifest, len(buf), n)
+	}
+	if m.FileSize < 0 || m.ChunkSize <= 0 || m.ChunkSize > gnutella.MaxChunkLen || n > maxManifestChunks {
+		return nil, fmt.Errorf("%w: size %d, chunk size %d, %d chunks", ErrBadManifest, m.FileSize, m.ChunkSize, n)
+	}
+	if want := chunkCount(m.FileSize, m.ChunkSize); want != n {
+		return nil, fmt.Errorf("%w: %d chunks, want %d for %d bytes / %d-byte chunks",
+			ErrBadManifest, n, want, m.FileSize, m.ChunkSize)
+	}
+	m.Hashes = make([][sha256.Size]byte, n)
+	for i := range m.Hashes {
+		copy(m.Hashes[i][:], buf[manifestFixed+i*sha256.Size:])
+	}
+	return m, nil
+}
+
+func chunkCount(size int64, chunkSize int) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + int64(chunkSize) - 1) / int64(chunkSize))
+}
+
+// BuildManifest computes the manifest of a title's deterministic content.
+func BuildManifest(title string, size int64, chunkSize int) *Manifest {
+	m := &Manifest{FileSize: size, ChunkSize: chunkSize}
+	n := chunkCount(size, chunkSize)
+	m.Hashes = make([][sha256.Size]byte, n)
+	buf := make([]byte, chunkSize)
+	for i := 0; i < n; i++ {
+		b := buf[:m.ChunkLen(i)]
+		FillContent(title, int64(i)*int64(chunkSize), b)
+		m.Hashes[i] = sha256.Sum256(b)
+	}
+	return m
+}

@@ -53,6 +53,7 @@ import (
 	"spnet/internal/routing"
 	"spnet/internal/sim"
 	"spnet/internal/stats"
+	"spnet/internal/transfer"
 	"spnet/internal/workload"
 )
 
@@ -336,6 +337,89 @@ type (
 	ClientSearchOutcome = p2p.ClientSearchOutcome
 	NeighborStatus      = p2p.NeighborStatus
 )
+
+// Content transfer plane: QueryHits name who has a file; the transfer plane
+// actually moves it. A TransferStore holds deterministically generated,
+// pre-hashed content a node serves chunk-by-chunk (NodeOptions.Content) under
+// its own inflight and bandwidth caps, and Fetch downloads one file from
+// several such nodes in parallel — pipelined chunk requests per source,
+// per-chunk hash verification against the manifest, seeded retry/backoff,
+// reputation-scored source abandonment and resume from a chunk bitmap.
+// Every transfer frame is metered as its own load class, so downloads are
+// priced side by side with the paper's query/response/join/update taxonomy.
+type (
+	TransferStore        = transfer.Store
+	TransferStoreOptions = transfer.StoreOptions
+	TransferFile         = transfer.File
+	TransferSource       = transfer.Source
+	TransferOptions      = transfer.Options
+	TransferBackoff      = transfer.Backoff
+	TransferResult       = transfer.Result
+	TransferProgress     = transfer.Progress
+	TransferSourceStats  = transfer.SourceStats
+	TransferManifest     = transfer.Manifest
+)
+
+// NewTransferStore builds an empty content store; Add titles to it, then hand
+// it to one or more nodes via NodeOptions.Content. A single store can back a
+// whole fleet serving identical content — the basis of multi-source fetches.
+func NewTransferStore(opts TransferStoreOptions) *TransferStore { return transfer.NewStore(opts) }
+
+// Fetch downloads one file from the given sources concurrently and returns
+// the verified bytes. Sources usually come from TransferSourcesFor over a
+// search's results.
+func Fetch(sources []TransferSource, opts TransferOptions) (*TransferResult, error) {
+	return transfer.Fetch(sources, opts)
+}
+
+// ResumeFetch continues an interrupted download from a prior Result's
+// Progress, refetching only the chunks the bitmap is missing.
+func ResumeFetch(sources []TransferSource, prev *TransferProgress, opts TransferOptions) (*TransferResult, error) {
+	return transfer.Resume(sources, prev, opts)
+}
+
+// TransferSourcesFor distills search results into dialable download sources
+// for an exact title: every distinct responder that advertised it.
+func TransferSourcesFor(results []SearchResult, title string) []TransferSource {
+	return p2p.TransferSources(results, title)
+}
+
+// TransferContentSize and TransferContentHash expose the deterministic
+// content model: the size and sha256 a store-served title always has, so
+// callers can verify a completed download end to end without trusting any
+// source.
+func TransferContentSize(title string, minSize, maxSize int64) int64 {
+	return transfer.ContentSize(title, minSize, maxSize)
+}
+func TransferContentHash(title string, size int64) [32]byte {
+	return transfer.ContentHash(title, size)
+}
+
+// TransferWorkload and TransferPrediction parameterize PredictTransfer, the
+// analytical price of a download: exact wire bytes (chunk framing included),
+// protocol efficiency, and the rate-cap throughput/duration bound.
+type (
+	TransferWorkload   = analysis.TransferWorkload
+	TransferPrediction = analysis.TransferPrediction
+)
+
+// PredictTransfer prices a chunked multi-source download analytically, the
+// same way Evaluate prices query traffic.
+func PredictTransfer(w TransferWorkload) (*TransferPrediction, error) {
+	return analysis.PredictTransfer(w)
+}
+
+// TransferBenchParams shape RunTransferBench: a live fleet serves one file
+// from every cluster, a downloader fetches it multi-source, telemetry is
+// scraped for transfer-class wire bytes, and a failover drill kills a source
+// mid-download — all compared against PredictTransfer.
+type TransferBenchParams = experiments.TransferBenchParams
+
+// RunTransferBench runs the transfer-plane validation experiment and renders
+// its report.
+func RunTransferBench(p TransferBenchParams) (*ExperimentReport, error) {
+	return experiments.RunTransferBench(p)
+}
 
 // ClientDialOptions, ClientBackoff and ClientEvent configure a supervised
 // client: a ranked list of redundant partner super-peers (the paper's
